@@ -1,0 +1,113 @@
+// Google-benchmark microbenchmarks for the substrate hot paths: the wire
+// codec, the compressed logs, the sliding-window estimator and the
+// discrete-event core. These bound the simulator's capacity for the
+// Figure 13 throughput sweeps.
+#include <benchmark/benchmark.h>
+
+#include "common/interval_set.h"
+#include "common/window_estimator.h"
+#include "core/messages.h"
+#include "log/global_log.h"
+#include "log/index_log.h"
+#include "sim/simulator.h"
+#include "wire/message.h"
+
+namespace {
+
+using namespace domino;
+
+sm::Command make_cmd(std::uint64_t seq) {
+  sm::Command c;
+  c.id = RequestId{NodeId{1000}, seq};
+  c.key = "k1234567";
+  c.value = "v7654321";
+  return c;
+}
+
+void BM_EncodeDfpPropose(benchmark::State& state) {
+  const core::DfpPropose msg{123456789, make_cmd(42)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::encode_message(msg));
+  }
+}
+BENCHMARK(BM_EncodeDfpPropose);
+
+void BM_DecodeDfpPropose(benchmark::State& state) {
+  const wire::Payload payload = wire::encode_message(core::DfpPropose{123456789, make_cmd(42)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::decode_message<core::DfpPropose>(payload));
+  }
+}
+BENCHMARK(BM_DecodeDfpPropose);
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    for (int i = 0; i < 1000; ++i) {
+      simulator.schedule_after(microseconds(i % 97), [] {});
+    }
+    benchmark::DoNotOptimize(simulator.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_IndexLogAppendCommitExecute(benchmark::State& state) {
+  for (auto _ : state) {
+    log::IndexLog log;
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      log.accept(i, make_cmd(i));
+      log.commit(i);
+    }
+    benchmark::DoNotOptimize(log.drain_executable());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_IndexLogAppendCommitExecute);
+
+void BM_GlobalLogDfpFlow(benchmark::State& state) {
+  for (auto _ : state) {
+    log::GlobalLog log(4);
+    std::int64_t ts = 1000;
+    for (int i = 0; i < 1000; ++i) {
+      ts += 1000;
+      log.commit(log::LogPosition{ts, 3}, make_cmd(static_cast<std::uint64_t>(i)));
+    }
+    for (std::uint32_t lane = 0; lane < 4; ++lane) {
+      log.advance_watermark(lane, ts + 1000);
+    }
+    benchmark::DoNotOptimize(log.drain_executable());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_GlobalLogDfpFlow);
+
+void BM_IntervalSetInsertContains(benchmark::State& state) {
+  for (auto _ : state) {
+    IntervalSet set;
+    for (std::int64_t i = 0; i < 1000; ++i) {
+      set.insert(i * 3, i * 3 + 1);  // leaves holes -> no full coalesce
+    }
+    bool any = false;
+    for (std::int64_t i = 0; i < 3000; i += 7) any ^= set.contains(i);
+    benchmark::DoNotOptimize(any);
+  }
+}
+BENCHMARK(BM_IntervalSetInsertContains);
+
+void BM_WindowEstimatorP95(benchmark::State& state) {
+  WindowEstimator w(seconds(1));
+  TimePoint t = TimePoint::epoch();
+  for (int i = 0; i < 100; ++i) {
+    t += milliseconds(10);
+    w.add(t, milliseconds(30 + i % 5));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.percentile(t, 95));
+  }
+}
+BENCHMARK(BM_WindowEstimatorP95);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Table 1: network roundtrip delays (ms) between the 6 Globe datacenters.
+// Verifies that probing the simulated WAN reproduces the configured matrix
+// (the paper's measured averages).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "measure/prober.h"
+
+namespace {
+
+using namespace domino;
+
+class ProbeClient : public rpc::Node {
+ public:
+  ProbeClient(NodeId id, std::size_t dc, net::Network& network, std::vector<NodeId> targets)
+      : rpc::Node(id, dc, network), prober(*this, std::move(targets), {}) {}
+  measure::Prober prober;
+
+ protected:
+  void on_packet(const net::Packet& packet) override {
+    switch (wire::peek_type(packet.payload)) {
+      case wire::MessageType::kProbe: {
+        const auto probe = wire::decode_message<measure::Probe>(packet.payload);
+        send(packet.src, measure::Prober::make_reply(probe, local_now(), Duration::zero()));
+        break;
+      }
+      case wire::MessageType::kProbeReply:
+        prober.on_probe_reply(packet.src,
+                              wire::decode_message<measure::ProbeReply>(packet.payload));
+        break;
+      default:
+        break;
+    }
+  }
+};
+
+void measure_matrix(const net::Topology& topo, const char* paper_ref) {
+  sim::Simulator simulator;
+  net::Network network(simulator, topo, 42);
+  net::JitterParams jitter;
+  network.use_default_links(jitter);
+
+  std::vector<NodeId> ids;
+  for (std::size_t i = 0; i < topo.size(); ++i) ids.push_back(NodeId{(std::uint32_t)i});
+  std::vector<std::unique_ptr<ProbeClient>> nodes;
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    nodes.push_back(std::make_unique<ProbeClient>(ids[i], i, network, ids));
+    nodes.back()->attach();
+  }
+  for (auto& n : nodes) n->prober.start();
+  simulator.run_until(TimePoint::epoch() + seconds(5));
+
+  std::printf("%s — median measured RTT (ms); configured value in ()\n\n      ", paper_ref);
+  for (std::size_t j = 0; j < topo.size(); ++j) std::printf("%12s", topo.name(j).c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    std::printf("%-5s ", topo.name(i).c_str());
+    for (std::size_t j = 0; j < topo.size(); ++j) {
+      if (i == j) {
+        std::printf("%12s", "-");
+        continue;
+      }
+      const Duration measured = nodes[i]->prober.rtt_estimate(ids[j], 50.0);
+      char cell[48];
+      std::snprintf(cell, sizeof(cell), "%.0f (%.0f)", measured.millis(),
+                    topo.rtt(i, j).millis());
+      std::printf("%12s", cell);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  domino::bench::print_header("Inter-datacenter RTT matrix — Globe",
+                              "paper Table 1, Section 4");
+  measure_matrix(domino::net::Topology::globe(), "Globe (6 DCs)");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Tables 2 and 3: 99th percentile misprediction value (ms) of request
+// arrival times for every directed Globe datacenter pair, comparing the
+// naive half-RTT estimator (Table 2) with Domino's replica-timestamp OWD
+// technique (Table 3).
+//
+// The paper's testbed exhibits asymmetric routing (most dramatically into
+// NSW, where half-RTT mispredicts by hundreds of ms to seconds) and NTP-
+// level clock skew. We configure per-pair forward shares and clock offsets
+// accordingly: moderate asymmetry everywhere, extreme asymmetry + skew on
+// the NSW-bound paths.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "harness/trace.h"
+#include "net/topology.h"
+
+int main() {
+  using namespace domino;
+  bench::print_header("OWD misprediction: half-RTT vs replica-timestamp",
+                      "paper Tables 2 and 3, Section 5.4");
+
+  const net::Topology topo = net::Topology::globe();
+  const std::size_t n = topo.size();
+
+  // Per-datacenter clock offsets: NTP quality (a few ms) everywhere except
+  // NSW, whose clock runs far behind — the paper's Table 2 NSW row (half-RTT
+  // mispredictions of 0.1 s - 2.3 s out of NSW, tens of ms into NSW) is the
+  // signature of a large skew/route anomaly at that site that only the
+  // replica-timestamp technique absorbs. Routes into NSW are also
+  // forward-heavy (disjoint forward/reverse paths).
+  const Duration clock_offset[] = {milliseconds(0),  milliseconds(2),   milliseconds(-2),
+                                   milliseconds(-600), milliseconds(-1), milliseconds(1)};
+
+  auto forward_share = [&](std::size_t from, std::size_t to) {
+    if (topo.name(from) == "NSW") return 0.35;  // reverse-heavy out of NSW
+    if (topo.name(to) == "NSW") return 0.75;    // forward-heavy into NSW
+    return 0.58;                                // mild asymmetry elsewhere
+  };
+
+  std::vector<std::vector<double>> half(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<double>> owd(n, std::vector<double>(n, 0.0));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      harness::LinkTraceConfig cfg;
+      cfg.rtt = topo.rtt(i, j);
+      cfg.forward_share = forward_share(i, j);
+      cfg.remote_clock_offset = clock_offset[j] - clock_offset[i];
+      cfg.duration = seconds(60);
+      cfg.spike_prob = 0.0005;
+      cfg.spike_mean = milliseconds(4);
+      cfg.seed = 1000 + i * 17 + j;
+      const auto trace = harness::generate_trace(cfg);
+      half[i][j] = harness::evaluate_predictions(trace, harness::OwdEstimator::kHalfRtt,
+                                                 seconds(1), 95.0)
+                       .p99_misprediction_ms;
+      owd[i][j] = harness::evaluate_predictions(
+                      trace, harness::OwdEstimator::kReplicaTimestamp, seconds(1), 95.0)
+                      .p99_misprediction_ms;
+    }
+  }
+
+  auto print_matrix = [&](const char* title, const std::vector<std::vector<double>>& m) {
+    std::printf("\n%s\nfrom\\to ", title);
+    for (std::size_t j = 0; j < n; ++j) std::printf("%8s", topo.name(j).c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < n; ++i) {
+      std::printf("%-7s ", topo.name(i).c_str());
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) {
+          std::printf("%8s", "-");
+        } else {
+          std::printf("%8.2f", m[i][j]);
+        }
+      }
+      std::printf("\n");
+    }
+  };
+
+  print_matrix("Table 2 equivalent — p99 misprediction (ms), half-RTT estimator:", half);
+  print_matrix("Table 3 equivalent — p99 misprediction (ms), Domino's OWD technique:", owd);
+
+  double max_half = 0, max_owd = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      max_half = std::max(max_half, half[i][j]);
+      max_owd = std::max(max_owd, owd[i][j]);
+    }
+  }
+  std::printf("\nmax p99 misprediction: half-RTT %.1f ms vs OWD %.1f ms\n", max_half, max_owd);
+  std::printf("paper: half-RTT up to 2343.97 ms (NSW row), OWD technique <= 6.24 ms\n");
+  std::printf("shape holds (OWD stays in single-digit ms, half-RTT off by orders of "
+              "magnitude): %s\n",
+              (max_owd < 10.0 && max_half > 50 * max_owd) ? "yes" : "NO");
+  return 0;
+}

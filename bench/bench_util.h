@@ -1,0 +1,79 @@
+// Shared helpers for the experiment binaries: the paper's standard
+// deployments (Section 7.2) and result formatting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/report.h"
+#include "harness/runner.h"
+
+namespace domino::bench {
+
+/// NA setting (Section 7.2): 9 datacenters, replicas WA/VA/QC (3-replica
+/// runs) + CA/TX (5-replica runs), WA hosts the leader/coordinator, one
+/// client per datacenter.
+inline harness::Scenario na_scenario(std::size_t replica_count) {
+  harness::Scenario s;
+  s.topology = net::Topology::north_america();
+  s.replica_dcs = {s.topology.index_of("WA"), s.topology.index_of("VA"),
+                   s.topology.index_of("QC")};
+  if (replica_count == 5) {
+    s.replica_dcs.push_back(s.topology.index_of("CA"));
+    s.replica_dcs.push_back(s.topology.index_of("TX"));
+  }
+  s.leader_index = 0;  // WA
+  for (std::size_t dc = 0; dc < s.topology.size(); ++dc) s.client_dcs.push_back(dc);
+  return s;
+}
+
+/// Globe setting (Section 7.2): 6 datacenters, replicas WA/PR/NSW, WA hosts
+/// the leader/coordinator, one client per datacenter.
+inline harness::Scenario globe_scenario() {
+  harness::Scenario s;
+  s.topology = net::Topology::globe();
+  s.replica_dcs = {s.topology.index_of("WA"), s.topology.index_of("PR"),
+                   s.topology.index_of("NSW")};
+  s.leader_index = 0;  // WA
+  for (std::size_t dc = 0; dc < s.topology.size(); ++dc) s.client_dcs.push_back(dc);
+  return s;
+}
+
+/// Run one protocol over several seeds and merge the latency samples — the
+/// paper runs every experiment 10 times and combines the results.
+inline harness::RunResult run_repeated(harness::Protocol protocol, harness::Scenario s,
+                                       int repetitions) {
+  harness::RunResult total;
+  for (int i = 0; i < repetitions; ++i) {
+    s.seed = s.seed * 31 + static_cast<std::uint64_t>(i) + 1;
+    harness::RunResult r = harness::run_protocol(protocol, s);
+    total.commit_ms.merge(r.commit_ms);
+    total.exec_ms.merge(r.exec_ms);
+    total.submitted += r.submitted;
+    total.committed += r.committed;
+    total.fast_path += r.fast_path;
+    total.slow_path += r.slow_path;
+    total.dfp_chosen += r.dfp_chosen;
+    total.dm_chosen += r.dm_chosen;
+    total.packets_sent += r.packets_sent;
+    total.bytes_sent += r.bytes_sent;
+    total.measure_window += r.measure_window;
+    if (total.commit_per_client.size() < r.commit_per_client.size()) {
+      total.commit_per_client.resize(r.commit_per_client.size());
+    }
+    for (std::size_t c = 0; c < r.commit_per_client.size(); ++c) {
+      total.commit_per_client[c].merge(r.commit_per_client[c]);
+    }
+  }
+  return total;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(reproduces %s)\n", paper_ref.c_str());
+  std::printf("==========================================================\n");
+}
+
+}  // namespace domino::bench

@@ -1,0 +1,88 @@
+// The full Domino protocol over real TCP sockets: three replicas and a
+// client on loopback, real clocks, the same protocol code the simulator
+// runs for the paper's evaluation.
+//
+//   ./build/examples/domino_tcp_cluster
+//
+// Prints live latency estimates, per-request commit latencies, and the
+// converged replica state.
+#include <cstdio>
+
+#include "core/client.h"
+#include "core/replica.h"
+#include "net/tcp/tcp_context.h"
+
+int main() {
+  using namespace domino;
+  using namespace domino::net::tcp;
+
+  EventLoop loop;
+  TcpContext context(loop);
+
+  const std::vector<NodeId> rids{NodeId{0}, NodeId{1}, NodeId{2}};
+  for (NodeId r : rids) {
+    const auto port = context.host_node(r, {"127.0.0.1", 0});
+    std::printf("replica %s listening on 127.0.0.1:%u\n", r.to_string().c_str(), port);
+  }
+  context.host_node(NodeId{100}, {"127.0.0.1", 0});
+
+  core::ReplicaConfig rc;
+  rc.heartbeat_interval = milliseconds(5);
+  rc.prober.probe_interval = milliseconds(5);
+  rc.prober.window = milliseconds(500);
+  std::vector<std::unique_ptr<core::Replica>> replicas;
+  for (NodeId r : rids) {
+    replicas.push_back(std::make_unique<core::Replica>(r, context, rids, rids[0], rc));
+    replicas.back()->attach();
+    replicas.back()->start();
+  }
+
+  core::ClientConfig cc;
+  cc.prober.probe_interval = milliseconds(5);
+  cc.prober.window = milliseconds(500);
+  cc.additional_delay = milliseconds(2);
+  core::Client client(NodeId{100}, context, rids, cc);
+  client.attach();
+  client.start();
+  int committed = 0;
+  client.set_commit_hook([&](const RequestId& id, TimePoint sent, TimePoint at) {
+    std::printf("  request #%llu committed in %.3f ms\n", (unsigned long long)id.seq,
+                (at - sent).millis());
+    ++committed;
+  });
+
+  // Warm the measurement plane with real probes.
+  const TimePoint warm_until = loop.now() + milliseconds(300);
+  while (loop.now() < warm_until) loop.poll(milliseconds(10));
+
+  const auto est = client.estimates();
+  std::printf("\nlive estimates over TCP: LatDFP %.3f ms, LatDM %.3f ms\n\n",
+              est.dfp.millis(), est.dm.millis());
+
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    sm::Command cmd;
+    cmd.id = RequestId{client.id(), s};
+    cmd.key = "account:" + std::to_string(s % 3);
+    cmd.value = "balance:" + std::to_string(100 * (s + 1));
+    client.submit(cmd);
+  }
+  const TimePoint deadline = loop.now() + seconds(5);
+  while (committed < 10 && loop.now() < deadline) loop.poll(milliseconds(10));
+  // Let execution frontiers pass.
+  const TimePoint settle = loop.now() + milliseconds(200);
+  while (loop.now() < settle) loop.poll(milliseconds(10));
+
+  std::printf("\nDFP fast-path learns: %llu of %llu requests\n",
+              (unsigned long long)client.dfp_fast_learns(),
+              (unsigned long long)client.submitted_count());
+  std::printf("\nconverged state (replica n0):\n");
+  for (const auto& [k, v] : replicas[0]->store().items()) {
+    std::printf("  %s = %s\n", k.c_str(), v.c_str());
+  }
+  bool converged = true;
+  for (const auto& r : replicas) {
+    converged = converged && r->store().items() == replicas[0]->store().items();
+  }
+  std::printf("\nall replicas agree: %s\n", converged ? "yes" : "NO");
+  return 0;
+}

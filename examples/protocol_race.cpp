@@ -1,0 +1,56 @@
+// Example: race all five protocols on the same WAN deployment and print a
+// side-by-side commit-latency CDF — a miniature of the paper's Figure 8
+// that is handy when exploring custom topologies.
+//
+// Usage: protocol_race [rps-per-client]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/report.h"
+#include "harness/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace domino;
+
+  harness::Scenario s;
+  s.topology = net::Topology::globe();
+  s.replica_dcs = {s.topology.index_of("WA"), s.topology.index_of("PR"),
+                   s.topology.index_of("NSW")};
+  for (std::size_t dc = 0; dc < s.topology.size(); ++dc) s.client_dcs.push_back(dc);
+  s.rps = argc > 1 ? std::atof(argv[1]) : 100.0;
+  s.warmup = seconds(2);
+  s.measure = seconds(8);
+  s.seed = 12;
+
+  std::printf("Globe deployment, replicas WA/PR/NSW, %zu clients at %.0f req/s each\n\n",
+              s.client_dcs.size(), s.rps);
+
+  struct Entry {
+    harness::Protocol protocol;
+    harness::RunResult result;
+  };
+  std::vector<Entry> entries;
+  for (harness::Protocol p :
+       {harness::Protocol::kDomino, harness::Protocol::kMencius, harness::Protocol::kEPaxos,
+        harness::Protocol::kFastPaxos, harness::Protocol::kMultiPaxos}) {
+    entries.push_back({p, harness::run_protocol(p, s)});
+    std::printf("%s\n",
+                harness::summary_line(harness::protocol_name(p), entries.back().result.commit_ms)
+                    .c_str());
+  }
+
+  std::vector<std::string> names;
+  std::vector<const StatAccumulator*> series;
+  for (const auto& e : entries) {
+    names.push_back(harness::protocol_name(e.protocol));
+    series.push_back(&e.result.commit_ms);
+  }
+  std::printf("\n%s\n", harness::render_cdf_table(names, series, 10).c_str());
+
+  std::printf("messages on the wire per committed request:\n");
+  for (const auto& e : entries) {
+    std::printf("  %-12s %6.1f\n", harness::protocol_name(e.protocol).c_str(),
+                (double)e.result.packets_sent / (double)std::max<std::uint64_t>(1, e.result.committed));
+  }
+  return 0;
+}

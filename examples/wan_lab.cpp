@@ -1,0 +1,204 @@
+// wan_lab: a command-line laboratory for running any protocol in this
+// repository on a configurable WAN deployment and printing latency /
+// throughput statistics. Useful for exploring placements and knobs beyond
+// the paper's fixed settings.
+//
+// Usage:
+//   wan_lab [options]
+//     --protocol  domino|mencius|epaxos|fastpaxos|multipaxos|all  (domino)
+//     --topology  globe|na                                        (globe)
+//     --replicas  CSV of datacenter names, e.g. WA,PR,NSW         (3 site default)
+//     --clients   CSV of datacenter names; "all" = one per DC     (all)
+//     --rps       requests/second per client                      (100)
+//     --seconds   measurement window                              (10)
+//     --zipf      workload contention alpha                       (0.75)
+//     --delay-ms  Domino DFP additional delay                     (0)
+//     --pct       measurement percentile                          (95)
+//     --mode      auto|dfp|dm       Domino subsystem choice       (auto)
+//     --adaptive  enable the Section 5.4 feedback controller
+//     --seed      RNG seed                                        (1)
+//     --cdf       print a 20-row commit-latency CDF table
+//
+// Example: ./wan_lab --protocol all --topology na --replicas WA,VA,QC --rps 200
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/report.h"
+#include "harness/runner.h"
+
+namespace {
+
+using namespace domino;
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+[[noreturn]] void usage_error(const std::string& what) {
+  std::fprintf(stderr, "wan_lab: %s (run with --help for usage)\n", what.c_str());
+  std::exit(2);
+}
+
+struct Options {
+  std::string protocol = "domino";
+  std::string topology = "globe";
+  std::string replicas;
+  std::string clients = "all";
+  double rps = 100;
+  double seconds = 10;
+  double zipf = 0.75;
+  double delay_ms = 0;
+  double pct = 95;
+  std::string mode = "auto";
+  bool adaptive = false;
+  bool cdf = false;
+  std::uint64_t seed = 1;
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::printf("see the header of examples/wan_lab.cpp for options\n");
+      std::exit(0);
+    } else if (arg == "--protocol") {
+      o.protocol = next();
+    } else if (arg == "--topology") {
+      o.topology = next();
+    } else if (arg == "--replicas") {
+      o.replicas = next();
+    } else if (arg == "--clients") {
+      o.clients = next();
+    } else if (arg == "--rps") {
+      o.rps = std::atof(next().c_str());
+    } else if (arg == "--seconds") {
+      o.seconds = std::atof(next().c_str());
+    } else if (arg == "--zipf") {
+      o.zipf = std::atof(next().c_str());
+    } else if (arg == "--delay-ms") {
+      o.delay_ms = std::atof(next().c_str());
+    } else if (arg == "--pct") {
+      o.pct = std::atof(next().c_str());
+    } else if (arg == "--mode") {
+      o.mode = next();
+    } else if (arg == "--adaptive") {
+      o.adaptive = true;
+    } else if (arg == "--cdf") {
+      o.cdf = true;
+    } else if (arg == "--seed") {
+      o.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else {
+      usage_error("unknown option " + arg);
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  harness::Scenario s;
+  if (o.topology == "globe") {
+    s.topology = net::Topology::globe();
+    if (o.replicas.empty()) s.replica_dcs = {s.topology.index_of("WA"),
+                                             s.topology.index_of("PR"),
+                                             s.topology.index_of("NSW")};
+  } else if (o.topology == "na") {
+    s.topology = net::Topology::north_america();
+    if (o.replicas.empty()) s.replica_dcs = {s.topology.index_of("WA"),
+                                             s.topology.index_of("VA"),
+                                             s.topology.index_of("QC")};
+  } else {
+    usage_error("unknown topology " + o.topology);
+  }
+  if (!o.replicas.empty()) {
+    for (const auto& name : split_csv(o.replicas)) {
+      s.replica_dcs.push_back(s.topology.index_of(name));
+    }
+  }
+  if (o.clients == "all") {
+    for (std::size_t dc = 0; dc < s.topology.size(); ++dc) s.client_dcs.push_back(dc);
+  } else {
+    for (const auto& name : split_csv(o.clients)) {
+      s.client_dcs.push_back(s.topology.index_of(name));
+    }
+  }
+  s.rps = o.rps;
+  s.measure = seconds_d(o.seconds);
+  s.workload.zipf_alpha = o.zipf;
+  s.additional_delay = milliseconds_d(o.delay_ms);
+  s.measurement_percentile = o.pct;
+  s.seed = o.seed;
+  s.domino_adaptive = o.adaptive;
+  if (o.mode == "dfp") s.domino_mode = core::ClientConfig::Mode::kDfpOnly;
+  else if (o.mode == "dm") s.domino_mode = core::ClientConfig::Mode::kDmOnly;
+  else if (o.mode != "auto") usage_error("unknown mode " + o.mode);
+
+  std::vector<harness::Protocol> protocols;
+  if (o.protocol == "all") {
+    protocols = {harness::Protocol::kDomino, harness::Protocol::kMencius,
+                 harness::Protocol::kEPaxos, harness::Protocol::kFastPaxos,
+                 harness::Protocol::kMultiPaxos};
+  } else if (o.protocol == "domino") protocols = {harness::Protocol::kDomino};
+  else if (o.protocol == "mencius") protocols = {harness::Protocol::kMencius};
+  else if (o.protocol == "epaxos") protocols = {harness::Protocol::kEPaxos};
+  else if (o.protocol == "fastpaxos") protocols = {harness::Protocol::kFastPaxos};
+  else if (o.protocol == "multipaxos") protocols = {harness::Protocol::kMultiPaxos};
+  else usage_error("unknown protocol " + o.protocol);
+
+  std::printf("deployment: %zu replicas (", s.replica_dcs.size());
+  for (std::size_t i = 0; i < s.replica_dcs.size(); ++i) {
+    std::printf("%s%s", i ? "," : "", s.topology.name(s.replica_dcs[i]).c_str());
+  }
+  std::printf("), %zu clients, %.0f rps each, zipf %.2f, %.0fs window, seed %llu\n\n",
+              s.client_dcs.size(), s.rps, s.workload.zipf_alpha, o.seconds,
+              (unsigned long long)s.seed);
+
+  std::vector<std::string> names;
+  std::vector<StatAccumulator> commits;
+  for (harness::Protocol p : protocols) {
+    const auto r = harness::run_protocol(p, s);
+    std::printf("%s\n", harness::summary_line(harness::protocol_name(p), r.commit_ms).c_str());
+    std::printf("  exec: %s\n", harness::summary_line("", r.exec_ms).c_str());
+    std::printf("  committed %llu/%llu; throughput %.0f rps; %.1f packets/request",
+                (unsigned long long)r.committed, (unsigned long long)r.submitted,
+                r.throughput_rps(),
+                r.committed ? (double)r.packets_sent / (double)r.committed : 0.0);
+    if (p == harness::Protocol::kDomino) {
+      std::printf("; DFP/DM choices %llu/%llu, fast commits %llu",
+                  (unsigned long long)r.dfp_chosen, (unsigned long long)r.dm_chosen,
+                  (unsigned long long)r.fast_path);
+    }
+    std::printf("\n\n");
+    names.push_back(harness::protocol_name(p));
+    commits.push_back(r.commit_ms);
+  }
+
+  if (o.cdf && !commits.empty()) {
+    std::vector<const StatAccumulator*> series;
+    for (const auto& c : commits) series.push_back(&c);
+    std::printf("%s", harness::render_cdf_table(names, series).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "common/interval_set.h"
+
+#include <cassert>
+#include <limits>
+
+namespace domino {
+
+void IntervalSet::insert(Key lo, Key hi) {
+  assert(lo <= hi);
+  // Find the first interval that could coalesce with [lo, hi]: the last
+  // interval starting at or before hi+1 is a merge candidate, and so is any
+  // interval starting within [lo, hi+1].
+  auto it = ivals_.upper_bound(lo);
+  if (it != ivals_.begin()) {
+    auto prev = std::prev(it);
+    // prev->first <= lo. Merge if prev reaches lo-1 or beyond.
+    if (prev->second >= lo - 1 && lo != std::numeric_limits<Key>::min()) {
+      lo = prev->first;
+      if (prev->second > hi) hi = prev->second;
+      it = ivals_.erase(prev);
+    } else if (prev->second >= lo) {  // lo == min: overlap check without lo-1
+      lo = prev->first;
+      if (prev->second > hi) hi = prev->second;
+      it = ivals_.erase(prev);
+    }
+  }
+  // Absorb all intervals that start within [lo, hi+1].
+  while (it != ivals_.end() &&
+         (it->first <= hi || (hi != std::numeric_limits<Key>::max() && it->first == hi + 1))) {
+    if (it->second > hi) hi = it->second;
+    it = ivals_.erase(it);
+  }
+  ivals_.emplace(lo, hi);
+}
+
+bool IntervalSet::contains(Key point) const {
+  auto it = ivals_.upper_bound(point);
+  if (it == ivals_.begin()) return false;
+  --it;
+  return it->second >= point;
+}
+
+bool IntervalSet::covers(Key lo, Key hi) const {
+  auto it = ivals_.upper_bound(lo);
+  if (it == ivals_.begin()) return false;
+  --it;
+  return it->first <= lo && it->second >= hi;
+}
+
+IntervalSet::Key IntervalSet::first_gap(Key from) const {
+  auto it = ivals_.upper_bound(from);
+  if (it == ivals_.begin()) return from;
+  --it;
+  if (it->second < from) return from;
+  if (it->second == std::numeric_limits<Key>::max()) return it->second;  // saturate
+  return it->second + 1;
+}
+
+std::optional<IntervalSet::Key> IntervalSet::contiguous_end(Key from) const {
+  auto it = ivals_.upper_bound(from);
+  if (it == ivals_.begin()) return std::nullopt;
+  --it;
+  if (it->second < from) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t IntervalSet::cardinality() const {
+  std::uint64_t total = 0;
+  for (const auto& [lo, hi] : ivals_) {
+    total += static_cast<std::uint64_t>(hi - lo) + 1;
+  }
+  return total;
+}
+
+std::string IntervalSet::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [lo, hi] : ivals_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "[" + std::to_string(lo) + "," + std::to_string(hi) + "]";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace domino

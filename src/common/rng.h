@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation.
+//
+// The whole evaluation harness must be reproducible from a single seed, so
+// we use our own xoshiro256** implementation (identical output on every
+// platform, unlike the unspecified std:: distributions) together with
+// explicit, portable distribution transforms.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace domino {
+
+/// xoshiro256** by Blackman & Vigna, seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform on [0, 2^64).
+  std::uint64_t next_u64();
+
+  /// Uniform on [0, 1).
+  double next_double();
+
+  /// Uniform on [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform on [lo, hi); requires lo < hi.
+  double uniform(double lo, double hi);
+
+  /// Standard normal (Box-Muller, deterministic).
+  double normal();
+
+  /// Normal with given mean/stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with given mean (> 0).
+  double exponential(double mean);
+
+  /// Log-normal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Bernoulli trial.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Fork an independent generator (for per-link RNG streams).
+  Rng fork();
+
+  /// Uniform duration on [lo, hi].
+  Duration uniform_duration(Duration lo, Duration hi) {
+    return Duration{uniform_i64(lo.nanos(), hi.nanos())};
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace domino

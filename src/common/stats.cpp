@@ -1,0 +1,101 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace domino {
+
+void StatAccumulator::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double StatAccumulator::mean() const {
+  if (values_.empty()) throw std::logic_error("StatAccumulator::mean on empty set");
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+double StatAccumulator::min() const {
+  ensure_sorted();
+  if (values_.empty()) throw std::logic_error("StatAccumulator::min on empty set");
+  return values_.front();
+}
+
+double StatAccumulator::max() const {
+  ensure_sorted();
+  if (values_.empty()) throw std::logic_error("StatAccumulator::max on empty set");
+  return values_.back();
+}
+
+double StatAccumulator::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double StatAccumulator::percentile(double p) const {
+  ensure_sorted();
+  if (values_.empty()) throw std::logic_error("StatAccumulator::percentile on empty set");
+  p = std::clamp(p, 0.0, 100.0);
+  std::size_t rank = 0;
+  if (p > 0.0) {
+    rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(values_.size())));
+    if (rank > 0) --rank;
+  }
+  return values_[rank];
+}
+
+double StatAccumulator::cdf_at(double x) const {
+  ensure_sorted();
+  if (values_.empty()) return 0.0;
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) / static_cast<double>(values_.size());
+}
+
+void StatAccumulator::merge(const StatAccumulator& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  sorted_ = false;
+}
+
+const std::vector<double>& StatAccumulator::sorted_values() const {
+  ensure_sorted();
+  return values_;
+}
+
+std::string StatAccumulator::render_cdf(std::size_t points) const {
+  if (values_.empty()) return "(no samples)\n";
+  ensure_sorted();
+  std::string out;
+  char line[96];
+  for (std::size_t i = 1; i <= points; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(points);
+    const auto idx = std::min(
+        values_.size() - 1,
+        static_cast<std::size_t>(std::ceil(frac * static_cast<double>(values_.size()))) - 1);
+    std::snprintf(line, sizeof(line), "%10.2f  %5.3f\n", values_[idx], frac);
+    out += line;
+  }
+  return out;
+}
+
+StatAccumulator::BoxSummary StatAccumulator::box_summary() const {
+  return {percentile(5), percentile(25), percentile(50), percentile(75), percentile(95)};
+}
+
+void TimeSeries::add(TimePoint at, double value) {
+  if (at < TimePoint::epoch()) return;
+  const auto idx = static_cast<std::size_t>((at - TimePoint::epoch()).nanos() / width_.nanos());
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1);
+  buckets_[idx].add(value);
+}
+
+}  // namespace domino

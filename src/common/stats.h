@@ -1,0 +1,80 @@
+// Offline statistics accumulators used by the evaluation harness:
+// percentiles, CDF rendering, box-plot summaries and time-bucketed series.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace domino {
+
+/// Accumulates scalar samples (latencies in milliseconds, rates, ...) and
+/// answers order statistics. Sorting is deferred until a query.
+class StatAccumulator {
+ public:
+  void add(double v) {
+    values_.push_back(v);
+    sorted_ = false;
+  }
+  void add(Duration d) { add(d.millis()); }
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double stddev() const;
+
+  /// p in [0, 100], nearest-rank percentile.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50); }
+
+  /// Fraction of samples <= x, in [0, 1].
+  [[nodiscard]] double cdf_at(double x) const;
+
+  /// Merge another accumulator's samples into this one.
+  void merge(const StatAccumulator& other);
+
+  /// All samples, sorted ascending.
+  [[nodiscard]] const std::vector<double>& sorted_values() const;
+
+  /// Render an ASCII CDF table: `points` rows of "value  cdf".
+  [[nodiscard]] std::string render_cdf(std::size_t points = 20) const;
+
+  /// Five-number summary (p5, p25, p50, p75, p95) as used by the paper's
+  /// box-and-whisker figures (Figures 2 and 11).
+  struct BoxSummary {
+    double p5, p25, p50, p75, p95;
+  };
+  [[nodiscard]] BoxSummary box_summary() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+/// Time-bucketed series: samples are assigned to fixed-width buckets by
+/// timestamp; per-bucket accumulators answer queries. Used for the Figure 12
+/// latency timelines and the Figure 1 per-minute heat maps.
+class TimeSeries {
+ public:
+  explicit TimeSeries(Duration bucket_width) : width_(bucket_width) {}
+
+  void add(TimePoint at, double value);
+
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+  [[nodiscard]] TimePoint bucket_start(std::size_t i) const {
+    return TimePoint::epoch() + width_ * static_cast<std::int64_t>(i);
+  }
+  [[nodiscard]] const StatAccumulator& bucket(std::size_t i) const { return buckets_[i]; }
+
+ private:
+  Duration width_;
+  std::vector<StatAccumulator> buckets_;
+};
+
+}  // namespace domino

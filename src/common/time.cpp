@@ -1,0 +1,23 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+namespace domino {
+
+std::string Duration::to_string() const {
+  char buf[48];
+  if (ns_ % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(ns_ / 1'000'000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fms", millis());
+  }
+  return buf;
+}
+
+std::string TimePoint::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "t=%.3fms", millis());
+  return buf;
+}
+
+}  // namespace domino

@@ -1,0 +1,109 @@
+// Time types used throughout the Domino codebase.
+//
+// All simulation and protocol logic operates on nanosecond-resolution
+// timestamps, matching the paper's use of nanosecond-level log positions
+// (Section 5.3: "DFP by default uses nanosecond-level timestamps").
+//
+// Two strong types are provided so that a point in time can never be
+// accidentally added to another point in time:
+//   - Duration:  a signed span of time.
+//   - TimePoint: an instant, measured as nanoseconds since the simulation
+//                epoch (or since a node's local epoch for skewed clocks).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace domino {
+
+/// A signed span of time with nanosecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t nanos) : ns_(nanos) {}
+
+  [[nodiscard]] constexpr std::int64_t nanos() const { return ns_; }
+  [[nodiscard]] constexpr double micros() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double millis() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr Duration& operator+=(Duration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// Scale a duration by a floating-point factor (used by jitter models).
+[[nodiscard]] constexpr Duration scale(Duration d, double factor) {
+  return Duration{static_cast<std::int64_t>(static_cast<double>(d.nanos()) * factor)};
+}
+
+[[nodiscard]] constexpr Duration nanoseconds(std::int64_t v) { return Duration{v}; }
+[[nodiscard]] constexpr Duration microseconds(std::int64_t v) { return Duration{v * 1'000}; }
+[[nodiscard]] constexpr Duration milliseconds(std::int64_t v) { return Duration{v * 1'000'000}; }
+[[nodiscard]] constexpr Duration milliseconds_d(double v) {
+  return Duration{static_cast<std::int64_t>(v * 1e6)};
+}
+[[nodiscard]] constexpr Duration seconds(std::int64_t v) { return Duration{v * 1'000'000'000}; }
+[[nodiscard]] constexpr Duration seconds_d(double v) {
+  return Duration{static_cast<std::int64_t>(v * 1e9)};
+}
+
+/// An instant in time: nanoseconds since an epoch.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t nanos) : ns_(nanos) {}
+
+  [[nodiscard]] constexpr std::int64_t nanos() const { return ns_; }
+  [[nodiscard]] constexpr double millis() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{ns_ + d.nanos()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{ns_ - d.nanos()}; }
+  constexpr Duration operator-(TimePoint o) const { return Duration{ns_ - o.ns_}; }
+  constexpr TimePoint& operator+=(Duration d) {
+    ns_ += d.nanos();
+    return *this;
+  }
+
+  [[nodiscard]] static constexpr TimePoint epoch() { return TimePoint{0}; }
+  [[nodiscard]] static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace domino

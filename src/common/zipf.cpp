@@ -1,0 +1,29 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace domino {
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfGenerator: n must be > 0");
+  if (alpha < 0) throw std::invalid_argument("ZipfGenerator: alpha must be >= 0");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+    cdf_[k] = acc;
+  }
+  const double total = acc;
+  for (double& v : cdf_) v /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::uint64_t ZipfGenerator::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace domino

@@ -1,0 +1,173 @@
+#include "core/client.h"
+
+#include <algorithm>
+
+namespace domino::core {
+
+Client::Client(NodeId id, std::size_t dc, net::Network& network,
+               std::vector<NodeId> replicas, ClientConfig config, sim::LocalClock clock)
+    : rpc::ClientBase(id, dc, network, clock),
+      replicas_(std::move(replicas)),
+      config_(config),
+      prober_(*this, replicas_, config.prober),
+      proxy_feed_(*this) {}
+
+Client::Client(NodeId id, rpc::Context& context, std::vector<NodeId> replicas,
+               ClientConfig config, sim::LocalClock clock)
+    : rpc::ClientBase(id, /*dc=*/0, context, clock),
+      replicas_(std::move(replicas)),
+      config_(config),
+      prober_(*this, replicas_, config.prober),
+      proxy_feed_(*this) {}
+
+void Client::start() {
+  if (config_.proxy.valid()) {
+    // Section 5.6: poll the co-located proxy instead of probing everyone.
+    proxy_timer_.start(context(), Duration::zero(), config_.prober.probe_interval,
+                       [this] { send(config_.proxy, measure::ProxyQuery{}); });
+  } else {
+    prober_.start();
+  }
+}
+
+const measure::LatencyView& Client::view() const {
+  if (config_.proxy.valid()) return proxy_feed_;
+  return prober_;
+}
+
+Client::Estimates Client::estimates() const {
+  Estimates e;
+  e.dfp = measure::estimate_dfp_latency(view(), replicas_);
+  const auto dm = measure::estimate_dm_latency(view(), replicas_);
+  e.dm = dm.latency;
+  e.dm_leader = dm.leader;
+  return e;
+}
+
+double Client::recent_fast_rate() const {
+  if (outcomes_.empty()) return 1.0;
+  std::size_t fast = 0;
+  for (bool b : outcomes_) fast += b ? 1 : 0;
+  return static_cast<double>(fast) / static_cast<double>(outcomes_.size());
+}
+
+void Client::record_dfp_outcome(bool fast) {
+  if (!config_.adaptive || config_.adaptive_window == 0) return;
+  if (outcomes_.size() < config_.adaptive_window) {
+    outcomes_.push_back(fast);
+  } else {
+    outcomes_[outcome_cursor_] = fast;
+    outcome_cursor_ = (outcome_cursor_ + 1) % config_.adaptive_window;
+  }
+  // Grow the slack while the fast path struggles; decay it when healthy.
+  if (!fast) {
+    adaptive_extra_ = std::min(adaptive_extra_ + config_.adaptive_step,
+                               config_.adaptive_max_extra);
+  } else if (recent_fast_rate() >= config_.adaptive_target &&
+             adaptive_extra_ > Duration::zero()) {
+    adaptive_extra_ -= Duration{config_.adaptive_step.nanos() / 4};
+    if (adaptive_extra_ < Duration::zero()) adaptive_extra_ = Duration::zero();
+  }
+}
+
+void Client::propose(const sm::Command& command) {
+  const Estimates est = estimates();
+  bool use_dfp = false;
+  switch (config_.mode) {
+    case ClientConfig::Mode::kDfpOnly:
+      use_dfp = true;
+      break;
+    case ClientConfig::Mode::kDmOnly:
+      use_dfp = false;
+      break;
+    case ClientConfig::Mode::kAuto:
+      use_dfp = est.dfp <= est.dm;
+      // Feedback override: an extended run of slow-path commits means the
+      // arrival predictions are off; fall back to DM until the (slack-
+      // assisted) fast path recovers (Section 5.4).
+      if (config_.adaptive && use_dfp && outcomes_.size() >= config_.adaptive_window / 2 &&
+          recent_fast_rate() < 0.5) {
+        use_dfp = false;
+      }
+      break;
+  }
+  if (use_dfp && est.dfp != Duration::max()) {
+    ++dfp_chosen_;
+    propose_dfp(command);
+    return;
+  }
+  ++dm_chosen_;
+  propose_dm(command, est.dm_leader.valid() ? est.dm_leader : replicas_.front());
+}
+
+void Client::propose_dfp(const sm::Command& command) {
+  const TimePoint predicted = measure::dfp_request_timestamp(
+      view(), local_now(), replicas_, config_.additional_delay);
+  if (predicted == TimePoint::max()) {
+    // No usable arrival predictions; fall back to DM.
+    propose_dm(command, replicas_.front());
+    return;
+  }
+  // Timestamps double as log positions, so they must be unique per client
+  // (Section 5.3.3); bump past our previous proposal when needed. The
+  // adaptive controller's slack is added on top of the configured one.
+  std::int64_t ts = std::max((predicted + adaptive_extra_).nanos(), last_dfp_ts_ + 1);
+  if (config_.timestamp_shard_space > 0) {
+    // Pre-sharded timestamps (Section 5.3.3): the low digits carry the
+    // client id, so distinct clients can never collide on a position.
+    const auto space = static_cast<std::int64_t>(config_.timestamp_shard_space);
+    const auto shard = static_cast<std::int64_t>(id().value()) % space;
+    ts = ts - (ts % space) + shard;
+    while (ts <= last_dfp_ts_) ts += space;
+  }
+  last_dfp_ts_ = ts;
+  dfp_pending_[command.id] = DfpPendingState{ts, 0};
+  DfpPropose msg{ts, command};
+  for (NodeId r : replicas_) send(r, msg);
+}
+
+void Client::propose_dm(const sm::Command& command, NodeId leader) {
+  send(leader, DmPropose{command});
+}
+
+void Client::on_packet(const net::Packet& packet) {
+  switch (wire::peek_type(packet.payload)) {
+    case wire::MessageType::kProbeReply:
+      prober_.on_probe_reply(packet.src,
+                             wire::decode_message<measure::ProbeReply>(packet.payload));
+      break;
+    case wire::MessageType::kProxyReport:
+      proxy_feed_.update(wire::decode_message<measure::ProxyReport>(packet.payload));
+      break;
+    case wire::MessageType::kDfpAcceptNotice: {
+      const auto notice = wire::decode_message<DfpAcceptNotice>(packet.payload);
+      if (notice.command.id.client != id()) break;
+      auto it = dfp_pending_.find(notice.command.id);
+      if (it == dfp_pending_.end() || it->second.ts != notice.ts) break;
+      if (!notice.accepted) break;  // rejected: wait for the coordinator's slow path
+      if (++it->second.accepts >= measure::supermajority(replicas_.size())) {
+        dfp_pending_.erase(it);
+        ++dfp_fast_learns_;
+        record_dfp_outcome(true);
+        handle_committed(notice.command.id);
+      }
+      break;
+    }
+    case wire::MessageType::kDfpClientReply: {
+      const auto reply = wire::decode_message<DfpClientReply>(packet.payload);
+      if (dfp_pending_.erase(reply.request) > 0) record_dfp_outcome(false);
+      ++dfp_slow_replies_;
+      handle_committed(reply.request);
+      break;
+    }
+    case wire::MessageType::kDmClientReply: {
+      const auto reply = wire::decode_message<DmClientReply>(packet.payload);
+      handle_committed(reply.request);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace domino::core

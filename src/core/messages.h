@@ -1,0 +1,364 @@
+// Domino wire messages (paper Section 5).
+//
+// DFP (Domino's Fast Paxos): clients broadcast timestamped proposals; every
+// replica accepts or rejects against its clock; acceptances flow to the
+// client (fast-path learner) and the DFP coordinator (recovery + no-op
+// learner). The coordinator resolves collisions with ballot-1 recovery and
+// disseminates a committed frontier for the no-op positions.
+//
+// DM (Domino's Mencius): clients send to a chosen leader; the leader stamps
+// the request with `now + predicted replication latency` and replicates to
+// a majority.
+//
+// Heartbeats carry each replica's clock watermark (no-op acceptance,
+// Section 5.3.2) and — from the coordinator — the DFP committed frontier.
+#pragma once
+
+#include "log/position.h"
+#include "statemachine/command.h"
+#include "wire/message.h"
+
+namespace domino::core {
+
+struct DfpPropose {
+  static constexpr wire::MessageType kType = wire::MessageType::kDfpPropose;
+  std::int64_t ts = 0;  // target DFP log position = predicted supermajority arrival time
+  sm::Command command;
+
+  void encode(wire::ByteWriter& w) const {
+    w.svarint(ts);
+    command.encode(w);
+  }
+  static DfpPropose decode(wire::ByteReader& r) {
+    DfpPropose m;
+    m.ts = r.svarint();
+    m.command = sm::Command::decode(r);
+    return m;
+  }
+};
+
+struct DfpAcceptNotice {
+  static constexpr wire::MessageType kType = wire::MessageType::kDfpAcceptNotice;
+  std::int64_t ts = 0;
+  bool accepted = false;
+  sm::Command command;
+  TimePoint sender_local_time;  // piggybacked watermark (Section 5.3.2)
+
+  void encode(wire::ByteWriter& w) const {
+    w.svarint(ts);
+    w.boolean(accepted);
+    command.encode(w);
+    w.time_point(sender_local_time);
+  }
+  static DfpAcceptNotice decode(wire::ByteReader& r) {
+    DfpAcceptNotice m;
+    m.ts = r.svarint();
+    m.accepted = r.boolean();
+    m.command = sm::Command::decode(r);
+    m.sender_local_time = r.time_point();
+    return m;
+  }
+};
+
+struct DfpCommit {
+  static constexpr wire::MessageType kType = wire::MessageType::kDfpCommit;
+  std::int64_t ts = 0;
+  bool is_noop = false;  // true: the position resolved as no-op
+  sm::Command command;   // meaningful when !is_noop
+
+  void encode(wire::ByteWriter& w) const {
+    w.svarint(ts);
+    w.boolean(is_noop);
+    command.encode(w);
+  }
+  static DfpCommit decode(wire::ByteReader& r) {
+    DfpCommit m;
+    m.ts = r.svarint();
+    m.is_noop = r.boolean();
+    m.command = sm::Command::decode(r);
+    return m;
+  }
+};
+
+struct DfpRecoveryAccept {
+  static constexpr wire::MessageType kType = wire::MessageType::kDfpRecoveryAccept;
+  std::int64_t ts = 0;
+  bool is_noop = false;
+  sm::Command command;
+
+  void encode(wire::ByteWriter& w) const {
+    w.svarint(ts);
+    w.boolean(is_noop);
+    command.encode(w);
+  }
+  static DfpRecoveryAccept decode(wire::ByteReader& r) {
+    DfpRecoveryAccept m;
+    m.ts = r.svarint();
+    m.is_noop = r.boolean();
+    m.command = sm::Command::decode(r);
+    return m;
+  }
+};
+
+struct DfpRecoveryReply {
+  static constexpr wire::MessageType kType = wire::MessageType::kDfpRecoveryReply;
+  std::int64_t ts = 0;
+
+  void encode(wire::ByteWriter& w) const { w.svarint(ts); }
+  static DfpRecoveryReply decode(wire::ByteReader& r) { return {r.svarint()}; }
+};
+
+/// Coordinator -> client notification for slow-path outcomes.
+struct DfpClientReply {
+  static constexpr wire::MessageType kType = wire::MessageType::kDfpClientReply;
+  RequestId request;
+
+  void encode(wire::ByteWriter& w) const { w.request_id(request); }
+  static DfpClientReply decode(wire::ByteReader& r) { return {r.request_id()}; }
+};
+
+struct Heartbeat {
+  static constexpr wire::MessageType kType = wire::MessageType::kDominoHeartbeat;
+  TimePoint sender_local_time;        // the sender's clock watermark
+  std::int64_t dfp_commit_frontier = 0;  // > 0 only from the coordinator
+
+  void encode(wire::ByteWriter& w) const {
+    w.time_point(sender_local_time);
+    w.svarint(dfp_commit_frontier);
+  }
+  static Heartbeat decode(wire::ByteReader& r) {
+    Heartbeat m;
+    m.sender_local_time = r.time_point();
+    m.dfp_commit_frontier = r.svarint();
+    return m;
+  }
+};
+
+struct DmPropose {
+  static constexpr wire::MessageType kType = wire::MessageType::kDmPropose;
+  sm::Command command;
+
+  void encode(wire::ByteWriter& w) const { command.encode(w); }
+  static DmPropose decode(wire::ByteReader& r) { return {sm::Command::decode(r)}; }
+};
+
+struct DmAccept {
+  static constexpr wire::MessageType kType = wire::MessageType::kDmAccept;
+  std::int64_t ts = 0;
+  std::uint32_t lane = 0;
+  sm::Command command;
+
+  void encode(wire::ByteWriter& w) const {
+    w.svarint(ts);
+    w.varint(lane);
+    command.encode(w);
+  }
+  static DmAccept decode(wire::ByteReader& r) {
+    DmAccept m;
+    m.ts = r.svarint();
+    m.lane = static_cast<std::uint32_t>(r.varint());
+    m.command = sm::Command::decode(r);
+    return m;
+  }
+};
+
+struct DmAcceptReply {
+  static constexpr wire::MessageType kType = wire::MessageType::kDmAcceptReply;
+  std::int64_t ts = 0;
+  std::uint32_t lane = 0;
+
+  void encode(wire::ByteWriter& w) const {
+    w.svarint(ts);
+    w.varint(lane);
+  }
+  static DmAcceptReply decode(wire::ByteReader& r) {
+    DmAcceptReply m;
+    m.ts = r.svarint();
+    m.lane = static_cast<std::uint32_t>(r.varint());
+    return m;
+  }
+};
+
+struct DmCommit {
+  static constexpr wire::MessageType kType = wire::MessageType::kDmCommit;
+  std::int64_t ts = 0;
+  std::uint32_t lane = 0;
+
+  void encode(wire::ByteWriter& w) const {
+    w.svarint(ts);
+    w.varint(lane);
+  }
+  static DmCommit decode(wire::ByteReader& r) {
+    DmCommit m;
+    m.ts = r.svarint();
+    m.lane = static_cast<std::uint32_t>(r.varint());
+    return m;
+  }
+};
+
+struct DmClientReply {
+  static constexpr wire::MessageType kType = wire::MessageType::kDmClientReply;
+  RequestId request;
+
+  void encode(wire::ByteWriter& w) const { w.request_id(request); }
+  static DmClientReply decode(wire::ByteReader& r) { return {r.request_id()}; }
+};
+
+// ---------------------------------------------------------------------------
+// Failure handling (paper Section 5.8). When a replica crashes, a successor
+// revokes its DM lane (learning every live entry from the remaining
+// replicas, committing them, and no-op-filling the rest), and the DFP
+// coordinator recovers no-op ranges that the dead replica's frozen clock
+// watermark would otherwise block forever.
+
+struct RangeEntryWire {
+  std::int64_t ts = 0;
+  sm::Command command;
+
+  void encode(wire::ByteWriter& w) const {
+    w.svarint(ts);
+    command.encode(w);
+  }
+  static RangeEntryWire decode(wire::ByteReader& r) {
+    RangeEntryWire e;
+    e.ts = r.svarint();
+    e.command = sm::Command::decode(r);
+    return e;
+  }
+};
+
+inline void encode_entries(wire::ByteWriter& w, const std::vector<RangeEntryWire>& v) {
+  w.varint(v.size());
+  for (const auto& e : v) e.encode(w);
+}
+
+inline std::vector<RangeEntryWire> decode_entries(wire::ByteReader& r) {
+  std::vector<RangeEntryWire> v(r.length_prefix(8));
+  for (auto& e : v) e = RangeEntryWire::decode(r);
+  return v;
+}
+
+struct DmRevoke {
+  static constexpr wire::MessageType kType = wire::MessageType::kDmRevoke;
+  std::uint32_t lane = 0;
+  std::int64_t from_ts = 0;
+  std::int64_t to_ts = 0;
+
+  void encode(wire::ByteWriter& w) const {
+    w.varint(lane);
+    w.svarint(from_ts);
+    w.svarint(to_ts);
+  }
+  static DmRevoke decode(wire::ByteReader& r) {
+    DmRevoke m;
+    m.lane = static_cast<std::uint32_t>(r.varint());
+    m.from_ts = r.svarint();
+    m.to_ts = r.svarint();
+    return m;
+  }
+};
+
+struct DmRevokeReply {
+  static constexpr wire::MessageType kType = wire::MessageType::kDmRevokeReply;
+  std::uint32_t lane = 0;
+  std::int64_t from_ts = 0;
+  std::int64_t to_ts = 0;
+  std::vector<RangeEntryWire> entries;
+
+  void encode(wire::ByteWriter& w) const {
+    w.varint(lane);
+    w.svarint(from_ts);
+    w.svarint(to_ts);
+    encode_entries(w, entries);
+  }
+  static DmRevokeReply decode(wire::ByteReader& r) {
+    DmRevokeReply m;
+    m.lane = static_cast<std::uint32_t>(r.varint());
+    m.from_ts = r.svarint();
+    m.to_ts = r.svarint();
+    m.entries = decode_entries(r);
+    return m;
+  }
+};
+
+struct DmRevokeResult {
+  static constexpr wire::MessageType kType = wire::MessageType::kDmRevokeResult;
+  std::uint32_t lane = 0;
+  std::int64_t from_ts = 0;
+  std::int64_t through_ts = 0;
+  std::vector<RangeEntryWire> entries;  // committed; unlisted range = no-ops
+
+  void encode(wire::ByteWriter& w) const {
+    w.varint(lane);
+    w.svarint(from_ts);
+    w.svarint(through_ts);
+    encode_entries(w, entries);
+  }
+  static DmRevokeResult decode(wire::ByteReader& r) {
+    DmRevokeResult m;
+    m.lane = static_cast<std::uint32_t>(r.varint());
+    m.from_ts = r.svarint();
+    m.through_ts = r.svarint();
+    m.entries = decode_entries(r);
+    return m;
+  }
+};
+
+struct DfpRangeRecover {
+  static constexpr wire::MessageType kType = wire::MessageType::kDfpRangeRecover;
+  std::int64_t from_ts = 0;
+  std::int64_t to_ts = 0;
+
+  void encode(wire::ByteWriter& w) const {
+    w.svarint(from_ts);
+    w.svarint(to_ts);
+  }
+  static DfpRangeRecover decode(wire::ByteReader& r) {
+    DfpRangeRecover m;
+    m.from_ts = r.svarint();
+    m.to_ts = r.svarint();
+    return m;
+  }
+};
+
+struct DfpRangeReply {
+  static constexpr wire::MessageType kType = wire::MessageType::kDfpRangeReply;
+  std::int64_t from_ts = 0;
+  std::int64_t to_ts = 0;
+  std::vector<RangeEntryWire> entries;
+
+  void encode(wire::ByteWriter& w) const {
+    w.svarint(from_ts);
+    w.svarint(to_ts);
+    encode_entries(w, entries);
+  }
+  static DfpRangeReply decode(wire::ByteReader& r) {
+    DfpRangeReply m;
+    m.from_ts = r.svarint();
+    m.to_ts = r.svarint();
+    m.entries = decode_entries(r);
+    return m;
+  }
+};
+
+struct DfpRangeResolve {
+  static constexpr wire::MessageType kType = wire::MessageType::kDfpRangeResolve;
+  std::int64_t from_ts = 0;
+  std::int64_t through_ts = 0;
+  std::vector<RangeEntryWire> entries;  // committed; unlisted range = no-ops
+
+  void encode(wire::ByteWriter& w) const {
+    w.svarint(from_ts);
+    w.svarint(through_ts);
+    encode_entries(w, entries);
+  }
+  static DfpRangeResolve decode(wire::ByteReader& r) {
+    DfpRangeResolve m;
+    m.from_ts = r.svarint();
+    m.through_ts = r.svarint();
+    m.entries = decode_entries(r);
+    return m;
+  }
+};
+
+}  // namespace domino::core

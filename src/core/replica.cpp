@@ -1,0 +1,765 @@
+#include "core/replica.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace domino::core {
+
+Replica::Replica(NodeId id, std::size_t dc, net::Network& network,
+                 std::vector<NodeId> replicas, NodeId coordinator, ReplicaConfig config,
+                 sim::LocalClock clock)
+    : rpc::Node(id, dc, network, clock),
+      replicas_(std::move(replicas)),
+      coordinator_(coordinator),
+      config_(config),
+      log_(replicas_.size() + 1),
+      prober_(*this, replicas_, config.prober),
+      replica_watermarks_(replicas_.size(), TimePoint::epoch()) {
+  const auto it = std::find(replicas_.begin(), replicas_.end(), id);
+  if (it == replicas_.end()) throw std::invalid_argument("core::Replica: id not in set");
+  rank_ = static_cast<std::size_t>(it - replicas_.begin());
+}
+
+Replica::Replica(NodeId id, rpc::Context& context, std::vector<NodeId> replicas,
+                 NodeId coordinator, ReplicaConfig config, sim::LocalClock clock)
+    : rpc::Node(id, /*dc=*/0, context, clock),
+      replicas_(std::move(replicas)),
+      coordinator_(coordinator),
+      config_(config),
+      log_(replicas_.size() + 1),
+      prober_(*this, replicas_, config.prober),
+      replica_watermarks_(replicas_.size(), TimePoint::epoch()) {
+  const auto it = std::find(replicas_.begin(), replicas_.end(), id);
+  if (it == replicas_.end()) throw std::invalid_argument("core::Replica: id not in set");
+  rank_ = static_cast<std::size_t>(it - replicas_.begin());
+}
+
+void Replica::start() {
+  prober_.start();
+  heartbeat_.start(context(), config_.heartbeat_interval, config_.heartbeat_interval,
+                   [this] { broadcast_heartbeat(); });
+}
+
+std::size_t Replica::rank_of(NodeId node) const {
+  const auto it = std::find(replicas_.begin(), replicas_.end(), node);
+  return it == replicas_.end() ? replicas_.size()
+                               : static_cast<std::size_t>(it - replicas_.begin());
+}
+
+Duration Replica::replication_latency_estimate() const {
+  const Duration l = measure::estimate_replication_latency(prober_, id(), replicas_);
+  return l == Duration::max() ? Duration::zero() : l;
+}
+
+void Replica::on_packet(const net::Packet& packet) {
+  switch (wire::peek_type(packet.payload)) {
+    case wire::MessageType::kProbe:
+      handle_probe(packet);
+      break;
+    case wire::MessageType::kProbeReply:
+      prober_.on_probe_reply(packet.src,
+                             wire::decode_message<measure::ProbeReply>(packet.payload));
+      break;
+    case wire::MessageType::kDfpPropose:
+      handle_dfp_propose(packet);
+      break;
+    case wire::MessageType::kDfpAcceptNotice:
+      handle_dfp_accept_notice(packet.src, packet.payload);
+      break;
+    case wire::MessageType::kDfpCommit:
+      handle_dfp_commit(packet.payload);
+      break;
+    case wire::MessageType::kDfpRecoveryAccept:
+      handle_dfp_recovery_accept(packet.src, packet.payload);
+      break;
+    case wire::MessageType::kDfpRecoveryReply:
+      handle_dfp_recovery_reply(packet.payload);
+      break;
+    case wire::MessageType::kDominoHeartbeat:
+      handle_heartbeat(packet.src, packet.payload);
+      break;
+    case wire::MessageType::kDmPropose:
+      handle_dm_propose(packet);
+      break;
+    case wire::MessageType::kDmAccept:
+      handle_dm_accept(packet.src, packet.payload);
+      break;
+    case wire::MessageType::kDmAcceptReply:
+      handle_dm_accept_reply(packet.payload);
+      break;
+    case wire::MessageType::kDmCommit:
+      handle_dm_commit(packet.payload);
+      break;
+    case wire::MessageType::kDmRevoke:
+      handle_dm_revoke(packet.src, packet.payload);
+      break;
+    case wire::MessageType::kDmRevokeReply:
+      handle_dm_revoke_reply(packet.src, packet.payload);
+      break;
+    case wire::MessageType::kDmRevokeResult:
+      apply_dm_revoke_result(wire::decode_message<DmRevokeResult>(packet.payload));
+      break;
+    case wire::MessageType::kDfpRangeRecover:
+      handle_dfp_range_recover(packet.src, packet.payload);
+      break;
+    case wire::MessageType::kDfpRangeReply:
+      handle_dfp_range_reply(packet.src, packet.payload);
+      break;
+    case wire::MessageType::kDfpRangeResolve:
+      apply_dfp_range_resolve(wire::decode_message<DfpRangeResolve>(packet.payload));
+      break;
+    default:
+      break;
+  }
+}
+
+void Replica::handle_probe(const net::Packet& packet) {
+  const auto probe = wire::decode_message<measure::Probe>(packet.payload);
+  send(packet.src,
+       measure::Prober::make_reply(probe, local_now(), replication_latency_estimate()));
+}
+
+// ------------------------------------------------------------ DFP acceptor
+
+void Replica::handle_dfp_propose(const net::Packet& packet) {
+  const auto msg = wire::decode_message<DfpPropose>(packet.payload);
+  const log::LogPosition pos{msg.ts, dfp_lane()};
+
+  // Accept iff our clock has not yet passed the timestamp (Section 5.3.2's
+  // optimistic no-op acceptance means a passed position is already taken by
+  // a no-op; an arrival exactly at its timestamp is still in time, matching
+  // Section 3's "equal to or smaller than the predicted timestamp"), the
+  // position is not already resolved (committed frontier), and no different
+  // command occupies it (client timestamp collision).
+  bool accept = local_now().nanos() <= msg.ts && !log_.is_resolved(pos);
+  if (accept) {
+    const auto* existing = log_.entry(pos);
+    if (existing != nullptr && existing->command.id != msg.command.id) accept = false;
+  }
+  if (accept) log_.accept(pos, msg.command);
+
+  DfpAcceptNotice notice;
+  notice.ts = msg.ts;
+  notice.accepted = accept;
+  notice.command = msg.command;
+  notice.sender_local_time = local_now();
+  if (config_.all_replicas_learn) {
+    // Section 5.7: every replica is a learner, so acceptances broadcast.
+    for (NodeId r : replicas_) {
+      if (r != id()) send(r, notice);
+    }
+  } else if (!is_coordinator()) {
+    send(coordinator_, notice);
+  }
+  note_replica_watermark(rank_, notice.sender_local_time);
+  process_dfp_notice(notice);
+  send(msg.command.id.client, notice);
+}
+
+void Replica::handle_dfp_commit(const wire::Payload& payload) {
+  const auto msg = wire::decode_message<DfpCommit>(payload);
+  const log::LogPosition pos{msg.ts, dfp_lane()};
+  if (msg.is_noop) {
+    log_.resolve_as_noop(pos);
+    log_.advance_watermark(dfp_lane(), msg.ts + 1);
+  } else {
+    log_.commit(pos, msg.command);
+    dfp_committed_.insert(msg.command.id);
+  }
+  // Settle any learner-side tally for this position.
+  auto it = dfp_positions_.find(msg.ts);
+  if (it != dfp_positions_.end()) {
+    it->second.resolved = true;
+    if (!msg.is_noop) it->second.winner = msg.command.id;
+  }
+  execute_ready();
+}
+
+void Replica::handle_dfp_recovery_accept(NodeId from, const wire::Payload& payload) {
+  const auto msg = wire::decode_message<DfpRecoveryAccept>(payload);
+  // Ballot 1 from the single coordinator supersedes our ballot-0 choice;
+  // the durable state change lands with the DfpCommit that follows.
+  send(from, DfpRecoveryReply{msg.ts});
+}
+
+// --------------------------------------------------------- DFP coordinator
+
+void Replica::handle_dfp_accept_notice(NodeId from, const wire::Payload& payload) {
+  if (!is_coordinator() && !config_.all_replicas_learn) return;
+  const auto msg = wire::decode_message<DfpAcceptNotice>(payload);
+  const std::size_t from_rank = rank_of(from);
+  if (from_rank < replicas_.size()) {
+    note_replica_watermark(from_rank, msg.sender_local_time);
+  }
+  process_dfp_notice(msg);
+}
+
+void Replica::process_dfp_notice(const DfpAcceptNotice& msg) {
+  if (dfp_committed_.contains(msg.command.id)) return;  // late duplicate
+
+  // A notice for a position already behind the committed frontier: the
+  // position resolved as no-op; the coordinator routes the late request
+  // through DM and releases any acceptor stuck with a blocked entry.
+  if (msg.ts < commit_frontier_ && !dfp_positions_.contains(msg.ts)) {
+    if (!is_coordinator()) return;
+    if (msg.accepted) {
+      DfpCommit noop{msg.ts, true, {}};
+      for (NodeId r : replicas_) {
+        if (r != id()) send(r, noop);
+      }
+      log_.advance_watermark(dfp_lane(), msg.ts + 1);
+    }
+    reroute_via_dm(msg.command);
+    return;
+  }
+
+  DfpPosition& pos = dfp_positions_[msg.ts];
+  if (pos.resolved) {
+    // The request cannot commit at this position any more (unless it is the
+    // winner); the coordinator routes it through DM instead.
+    if (is_coordinator() && (!pos.winner || *pos.winner != msg.command.id)) {
+      reroute_via_dm(msg.command);
+    }
+    return;
+  }
+
+  auto tally = std::find_if(pos.tallies.begin(), pos.tallies.end(),
+                            [&](const CommandTally& t) {
+                              return t.command.id == msg.command.id;
+                            });
+  if (tally == pos.tallies.end()) {
+    pos.tallies.push_back(CommandTally{msg.command, 0, 0});
+    tally = std::prev(pos.tallies.end());
+  }
+  msg.accepted ? ++tally->accepts : ++tally->rejects;
+  coordinator_check(msg.ts);
+}
+
+void Replica::note_replica_watermark(std::size_t rank, TimePoint watermark) {
+  if (rank >= replica_watermarks_.size()) return;
+  replica_watermarks_[rank] = std::max(replica_watermarks_[rank], watermark);
+}
+
+void Replica::coordinator_check(std::int64_t ts) {
+  auto it = dfp_positions_.find(ts);
+  if (it == dfp_positions_.end()) return;
+  DfpPosition& pos = it->second;
+  if (pos.resolved || pos.recovering) return;
+
+  const std::size_t n = replicas_.size();
+  const std::size_t q = measure::supermajority(n);
+  bool all_dead = !pos.tallies.empty();
+  for (const CommandTally& t : pos.tallies) {
+    if (t.accepts >= q) {
+      // Fast path: a supermajority accepted the same command here.
+      if (is_coordinator()) {
+        resolve_dfp(ts, /*is_noop=*/false, t.command, /*was_fast=*/true);
+      } else {
+        // Learner-side fast commit (Section 5.7): apply locally; the
+        // coordinator's DfpCommit is then a no-op here.
+        pos.resolved = true;
+        pos.winner = t.command.id;
+        dfp_committed_.insert(t.command.id);
+        log_.commit(log::LogPosition{ts, dfp_lane()}, t.command);
+        execute_ready();
+      }
+      return;
+    }
+    if (t.rejects <= n - q) all_dead = false;  // this command can still win fast
+  }
+  if (!is_coordinator()) return;  // recovery is the coordinator's job
+  if (all_dead) {
+    // No proposal at this position can reach a supermajority any more; run
+    // coordinated recovery.
+    start_dfp_recovery(ts);
+    return;
+  }
+  if (!pos.timer_armed) {
+    pos.timer_armed = true;
+    after(config_.recovery_timeout, [this, ts] {
+      auto pit = dfp_positions_.find(ts);
+      if (pit == dfp_positions_.end() || pit->second.resolved || pit->second.recovering) {
+        return;
+      }
+      start_dfp_recovery(ts);
+    });
+  }
+}
+
+void Replica::start_dfp_recovery(std::int64_t ts) {
+  DfpPosition& pos = dfp_positions_[ts];
+  pos.recovering = true;
+  // Ballot-1 choice: the most-accepted proposal if it is still choosable,
+  // else no-op. The choosability threshold is q - f accepts: below it, a
+  // supermajority of replicas must have no-op'd the position, so learners
+  // that derive the no-op frontier from watermarks (Section 5.7's
+  // every-replica-learner mode) may already have learned the no-op — the
+  // recovery must agree with them. A fast-learned command has accepts >= q
+  // here too and resolves before recovery starts.
+  DfpCommit choice;
+  choice.ts = ts;
+  const CommandTally* best = nullptr;
+  for (const CommandTally& t : pos.tallies) {
+    if (t.accepts == 0) continue;
+    if (best == nullptr || t.accepts > best->accepts) best = &t;
+  }
+  const std::size_t choosable_threshold =
+      measure::supermajority(replicas_.size()) - measure::fault_tolerance(replicas_.size());
+  if (best != nullptr &&
+      (!config_.all_replicas_learn || best->accepts >= choosable_threshold)) {
+    choice.is_noop = false;
+    choice.command = best->command;
+  } else {
+    choice.is_noop = true;
+  }
+  pos.recovery_choice = choice;
+  pos.recovery_acks = 1;  // self
+
+  // Self-accept at ballot 1.
+  if (!choice.is_noop) {
+    const log::LogPosition lp{ts, dfp_lane()};
+    if (!log_.is_resolved(lp)) log_.accept(lp, choice.command);
+  }
+  DfpRecoveryAccept msg{ts, choice.is_noop, choice.command};
+  for (NodeId r : replicas_) {
+    if (r != id()) send(r, msg);
+  }
+}
+
+void Replica::handle_dfp_recovery_reply(const wire::Payload& payload) {
+  if (!is_coordinator()) return;
+  const auto msg = wire::decode_message<DfpRecoveryReply>(payload);
+  auto it = dfp_positions_.find(msg.ts);
+  if (it == dfp_positions_.end() || it->second.resolved || !it->second.recovering) return;
+  DfpPosition& pos = it->second;
+  if (++pos.recovery_acks < measure::majority(replicas_.size())) return;
+  const DfpCommit choice = *pos.recovery_choice;
+  resolve_dfp(msg.ts, choice.is_noop, choice.command, /*was_fast=*/false);
+}
+
+void Replica::resolve_dfp(std::int64_t ts, bool is_noop, const sm::Command& command,
+                          bool was_fast) {
+  DfpPosition& pos = dfp_positions_[ts];
+  pos.resolved = true;
+
+  const log::LogPosition lp{ts, dfp_lane()};
+  if (!is_noop) {
+    pos.winner = command.id;
+    dfp_committed_.insert(command.id);
+    log_.commit(lp, command);
+    was_fast ? ++dfp_fast_commits_ : ++dfp_slow_commits_;
+    DfpCommit msg{ts, false, command};
+    for (NodeId r : replicas_) {
+      if (r != id()) send(r, msg);
+    }
+    if (!was_fast) send(command.id.client, DfpClientReply{command.id});
+  } else {
+    ++dfp_noop_resolutions_;
+    log_.resolve_as_noop(lp);
+    log_.advance_watermark(dfp_lane(), ts + 1);
+    DfpCommit msg{ts, true, {}};
+    for (NodeId r : replicas_) {
+      if (r != id()) send(r, msg);
+    }
+  }
+  // Every command that lost this position continues through DM
+  // (Section 5.3.3: "The DFP coordinator will propose the other request
+  // through Domino's Mencius").
+  for (const CommandTally& t : pos.tallies) {
+    if (pos.winner && *pos.winner == t.command.id) continue;
+    reroute_via_dm(t.command);
+  }
+  execute_ready();
+}
+
+void Replica::reroute_via_dm(const sm::Command& command) {
+  if (dfp_committed_.contains(command.id)) return;   // already committed via DFP
+  if (!rerouted_.insert(command.id).second) return;  // already re-proposed
+  dm_lead(command, /*reply_via_dfp=*/true);
+}
+
+std::int64_t Replica::computed_commit_frontier() const {
+  // A no-op is chosen at an empty position p once a supermajority of
+  // replicas has passed p, i.e. at least q watermarks exceed p — which
+  // holds exactly for p below the (n - q + 1)-th smallest watermark.
+  std::vector<Duration> wms;
+  wms.reserve(replicas_.size());
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    const TimePoint wm = r == rank_ ? local_now() : replica_watermarks_[r];
+    wms.push_back(wm - TimePoint::epoch());
+  }
+  const std::size_t rank_needed =
+      replicas_.size() - measure::supermajority(replicas_.size()) + 1;
+  const Duration wq = measure::kth_smallest(std::move(wms), rank_needed);
+  std::int64_t frontier = wq.nanos();
+  // Never advance past an unresolved proposal (its outcome is still open).
+  for (const auto& [ts, pos] : dfp_positions_) {
+    if (!pos.resolved && ts < frontier) {
+      frontier = ts;
+      break;
+    }
+    if (ts >= frontier) break;
+  }
+  return std::max(frontier, commit_frontier_);
+}
+
+// --------------------------------------------------------------------- DM
+
+void Replica::handle_dm_propose(const net::Packet& packet) {
+  const auto msg = wire::decode_message<DmPropose>(packet.payload);
+  dm_lead(msg.command, /*reply_via_dfp=*/false);
+}
+
+void Replica::dm_lead(const sm::Command& command, bool reply_via_dfp) {
+  // Stamp the request with when replication to a majority should finish
+  // (Section 5.5: "it assigns the request with a future time indicating
+  // when it should have replicated the request to a majority").
+  const Duration l = replication_latency_estimate();
+  std::int64_t ts = (local_now() + l).nanos();
+  ts = std::max({ts, dm_last_assigned_ + 1, local_now().nanos() + 1});
+  dm_last_assigned_ = ts;
+
+  const log::LogPosition pos{ts, static_cast<std::uint32_t>(rank_)};
+  log_.accept(pos, command);
+  dm_pending_.emplace(ts, DmPending{1, command.id, reply_via_dfp});
+
+  DmAccept msg{ts, static_cast<std::uint32_t>(rank_), command};
+  for (NodeId r : replicas_) {
+    if (r != id()) send(r, msg);
+  }
+  maybe_commit_dm(ts);  // single-replica deployments commit immediately
+}
+
+void Replica::handle_dm_accept(NodeId from, const wire::Payload& payload) {
+  const auto msg = wire::decode_message<DmAccept>(payload);
+  if (msg.lane >= replicas_.size()) return;
+  log_.accept(log::LogPosition{msg.ts, msg.lane}, msg.command);
+  send(from, DmAcceptReply{msg.ts, msg.lane});
+}
+
+void Replica::handle_dm_accept_reply(const wire::Payload& payload) {
+  const auto msg = wire::decode_message<DmAcceptReply>(payload);
+  if (msg.lane != rank_) return;
+  auto it = dm_pending_.find(msg.ts);
+  if (it == dm_pending_.end()) return;
+  ++it->second.acks;
+  maybe_commit_dm(msg.ts);
+}
+
+void Replica::maybe_commit_dm(std::int64_t ts) {
+  auto it = dm_pending_.find(ts);
+  if (it == dm_pending_.end()) return;
+  if (it->second.acks < measure::majority(replicas_.size())) return;
+  const DmPending pending = it->second;
+  dm_pending_.erase(it);
+
+  log_.commit(log::LogPosition{ts, static_cast<std::uint32_t>(rank_)});
+  ++dm_commits_;
+  DmCommit msg{ts, static_cast<std::uint32_t>(rank_)};
+  for (NodeId r : replicas_) {
+    if (r != id()) send(r, msg);
+  }
+  if (pending.reply_via_dfp) {
+    send(pending.request.client, DfpClientReply{pending.request});
+  } else {
+    send(pending.request.client, DmClientReply{pending.request});
+  }
+  execute_ready();
+}
+
+void Replica::handle_dm_commit(const wire::Payload& payload) {
+  const auto msg = wire::decode_message<DmCommit>(payload);
+  if (msg.lane >= replicas_.size()) return;
+  log_.commit(log::LogPosition{msg.ts, msg.lane});
+  execute_ready();
+}
+
+// -------------------------------------------------- failure handling (5.8)
+
+bool Replica::is_successor_for(std::size_t dead_rank) const {
+  // The lowest-ranked live replica (other than the dead one) takes over.
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (i == dead_rank) continue;
+    if (i == rank_) return true;
+    if (!prober_.looks_failed(replicas_[i])) return false;
+  }
+  return false;
+}
+
+void Replica::maybe_run_failure_recovery() {
+  bool any_failed = false;
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    if (r == rank_ || !prober_.looks_failed(replicas_[r])) continue;
+    any_failed = true;
+    // DM lane takeover: the successor revokes the dead leader's lane
+    // ("DM will select one of the remaining replicas to manage the log
+    // positions that are associated with the failed replica").
+    if (is_successor_for(r)) {
+      const auto lane = static_cast<std::uint32_t>(r);
+      auto& next_at = next_dm_revoke_at_[lane];
+      if (true_now() >= next_at && !dm_revokes_[lane].active) {
+        next_at = true_now() + kRecoveryRoundInterval;
+        start_dm_revoke(lane);
+      }
+    }
+  }
+  // DFP frontier recovery: the dead replica's frozen watermark would stall
+  // the committed-no-op frontier forever; the coordinator recovers the
+  // range with a ballot-1 round over the live replicas.
+  if (any_failed && is_coordinator() && !dfp_range_round_.active &&
+      true_now() >= next_dfp_range_at_) {
+    next_dfp_range_at_ = true_now() + kRecoveryRoundInterval;
+    start_dfp_range_recover();
+  }
+}
+
+void Replica::start_dm_revoke(std::uint32_t lane) {
+  RecoveryRound& round = dm_revokes_[lane];
+  round = RecoveryRound{};
+  round.active = true;
+  auto through_it = dm_revoked_through_.find(lane);
+  round.from = through_it == dm_revoked_through_.end() ? log_.watermark(lane)
+                                                       : through_it->second;
+  round.to = local_now().nanos();
+  if (round.to <= round.from) {
+    round.active = false;
+    return;
+  }
+  // Seed with our own live entries on the lane.
+  for (const auto& e : log_.entries_in_range(lane, round.from, round.to)) {
+    round.entries.emplace(e.ts, e.command);
+  }
+  DmRevoke msg{lane, round.from, round.to};
+  for (NodeId r : replicas_) {
+    if (r != id()) send(r, msg);
+  }
+  try_finalize_dm_revoke(lane);  // single-live-replica degenerate case
+}
+
+void Replica::handle_dm_revoke(NodeId from, const wire::Payload& payload) {
+  const auto msg = wire::decode_message<DmRevoke>(payload);
+  DmRevokeReply reply;
+  reply.lane = msg.lane;
+  reply.from_ts = msg.from_ts;
+  reply.to_ts = msg.to_ts;
+  for (const auto& e : log_.entries_in_range(msg.lane, msg.from_ts, msg.to_ts)) {
+    reply.entries.push_back(RangeEntryWire{e.ts, e.command});
+  }
+  send(from, reply);
+}
+
+void Replica::handle_dm_revoke_reply(NodeId from, const wire::Payload& payload) {
+  const auto msg = wire::decode_message<DmRevokeReply>(payload);
+  auto it = dm_revokes_.find(msg.lane);
+  if (it == dm_revokes_.end() || !it->second.active) return;
+  RecoveryRound& round = it->second;
+  if (msg.from_ts != round.from || msg.to_ts != round.to) return;  // stale round
+  round.replied.insert(from);
+  for (const auto& e : msg.entries) round.entries.emplace(e.ts, e.command);
+  try_finalize_dm_revoke(msg.lane);
+}
+
+void Replica::try_finalize_dm_revoke(std::uint32_t lane) {
+  RecoveryRound& round = dm_revokes_[lane];
+  if (!round.active) return;
+  // Wait for every replica we believe is alive: querying all live replicas
+  // (not just a majority) guarantees that an entry committed-and-compacted
+  // at some replicas is still reported by any replica that merely accepted
+  // it.
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    if (r == rank_ || prober_.looks_failed(replicas_[r])) continue;
+    if (!round.replied.contains(replicas_[r])) return;
+  }
+  DmRevokeResult result;
+  result.lane = lane;
+  result.from_ts = round.from;
+  result.through_ts = round.to;
+  for (const auto& [ts, cmd] : round.entries) {
+    result.entries.push_back(RangeEntryWire{ts, cmd});
+  }
+  round.active = false;
+  dm_revoked_through_[lane] = round.to;
+  for (NodeId r : replicas_) {
+    if (r != id()) send(r, result);
+  }
+  apply_dm_revoke_result(result);
+}
+
+void Replica::apply_dm_revoke_result(const DmRevokeResult& result) {
+  if (result.lane >= replicas_.size()) return;
+  // No-op our accepted entries that the revocation did not commit.
+  for (const auto& e :
+       log_.entries_in_range(result.lane, result.from_ts, result.through_ts)) {
+    if (e.committed) continue;
+    const bool listed =
+        std::any_of(result.entries.begin(), result.entries.end(),
+                    [&](const RangeEntryWire& w) { return w.ts == e.ts; });
+    if (!listed) log_.resolve_as_noop(log::LogPosition{e.ts, result.lane});
+  }
+  for (const auto& e : result.entries) {
+    log_.commit(log::LogPosition{e.ts, result.lane}, e.command);
+  }
+  log_.advance_watermark(result.lane, result.through_ts);
+  execute_ready();
+}
+
+void Replica::start_dfp_range_recover() {
+  RecoveryRound& round = dfp_range_round_;
+  round = RecoveryRound{};
+  round.active = true;
+  round.from = commit_frontier_;
+  // Recover up to the slowest live watermark (live replicas have no-op'd
+  // everything below their clocks; the dead one cannot object at ballot 1).
+  Duration to = local_now() - TimePoint::epoch();
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    if (r == rank_ || prober_.looks_failed(replicas_[r])) continue;
+    to = std::min(to, replica_watermarks_[r] - TimePoint::epoch());
+  }
+  round.to = to.nanos();
+  if (round.to <= round.from) {
+    round.active = false;
+    return;
+  }
+  for (const auto& e : log_.entries_in_range(dfp_lane(), round.from, round.to)) {
+    round.entries.emplace(e.ts, e.command);
+  }
+  DfpRangeRecover msg{round.from, round.to};
+  for (NodeId r : replicas_) {
+    if (r != id() && !prober_.looks_failed(r)) send(r, msg);
+  }
+  try_finalize_dfp_range();
+}
+
+void Replica::handle_dfp_range_recover(NodeId from, const wire::Payload& payload) {
+  const auto msg = wire::decode_message<DfpRangeRecover>(payload);
+  DfpRangeReply reply;
+  reply.from_ts = msg.from_ts;
+  reply.to_ts = msg.to_ts;
+  for (const auto& e : log_.entries_in_range(dfp_lane(), msg.from_ts, msg.to_ts)) {
+    reply.entries.push_back(RangeEntryWire{e.ts, e.command});
+  }
+  send(from, reply);
+}
+
+void Replica::handle_dfp_range_reply(NodeId from, const wire::Payload& payload) {
+  const auto msg = wire::decode_message<DfpRangeReply>(payload);
+  RecoveryRound& round = dfp_range_round_;
+  if (!round.active || msg.from_ts != round.from || msg.to_ts != round.to) return;
+  round.replied.insert(from);
+  for (const auto& e : msg.entries) round.entries.emplace(e.ts, e.command);
+  try_finalize_dfp_range();
+}
+
+void Replica::try_finalize_dfp_range() {
+  RecoveryRound& round = dfp_range_round_;
+  if (!round.active) return;
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    if (r == rank_ || prober_.looks_failed(replicas_[r])) continue;
+    if (!round.replied.contains(replicas_[r])) return;
+  }
+  round.active = false;
+
+  DfpRangeResolve resolve;
+  resolve.from_ts = round.from;
+  resolve.through_ts = round.to;
+  for (const auto& [ts, cmd] : round.entries) {
+    resolve.entries.push_back(RangeEntryWire{ts, cmd});
+    if (dfp_committed_.insert(cmd.id).second) {
+      ++dfp_slow_commits_;
+      // The client may not have reached a supermajority on its own; tell it
+      // (duplicate notifications are deduplicated client-side).
+      send(cmd.id.client, DfpClientReply{cmd.id});
+    }
+  }
+  // Settle the coordinator's per-position bookkeeping inside the range:
+  // commands that did not make the committed list continue through DM.
+  for (auto it = dfp_positions_.lower_bound(round.from);
+       it != dfp_positions_.end() && it->first <= round.to;) {
+    DfpPosition& pos = it->second;
+    if (!pos.resolved) {
+      pos.resolved = true;
+      const auto winner = round.entries.find(it->first);
+      if (winner != round.entries.end()) pos.winner = winner->second.id;
+      for (const CommandTally& t : pos.tallies) {
+        if (pos.winner && *pos.winner == t.command.id) continue;
+        reroute_via_dm(t.command);
+      }
+    }
+    it = dfp_positions_.erase(it);
+  }
+  commit_frontier_ = std::max(commit_frontier_, round.to);
+
+  for (NodeId r : replicas_) {
+    if (r != id()) send(r, resolve);
+  }
+  apply_dfp_range_resolve(resolve);
+}
+
+void Replica::apply_dfp_range_resolve(const DfpRangeResolve& resolve) {
+  for (const auto& e :
+       log_.entries_in_range(dfp_lane(), resolve.from_ts, resolve.through_ts)) {
+    if (e.committed) continue;
+    const bool listed =
+        std::any_of(resolve.entries.begin(), resolve.entries.end(),
+                    [&](const RangeEntryWire& w) { return w.ts == e.ts; });
+    if (!listed) log_.resolve_as_noop(log::LogPosition{e.ts, dfp_lane()});
+  }
+  for (const auto& e : resolve.entries) {
+    log_.commit(log::LogPosition{e.ts, dfp_lane()}, e.command);
+  }
+  log_.advance_watermark(dfp_lane(), resolve.through_ts);
+  execute_ready();
+}
+
+// ------------------------------------------------------------------ shared
+
+void Replica::handle_heartbeat(NodeId from, const wire::Payload& payload) {
+  const auto msg = wire::decode_message<Heartbeat>(payload);
+  const std::size_t from_rank = rank_of(from);
+  if (from_rank >= replicas_.size()) return;
+  note_replica_watermark(from_rank, msg.sender_local_time);
+  // The sender's clock watermark no-ops the empty positions of its DM lane.
+  log_.advance_watermark(static_cast<std::uint32_t>(from_rank),
+                         msg.sender_local_time.nanos());
+  if (from == coordinator_ && msg.dfp_commit_frontier > 0) {
+    log_.advance_watermark(dfp_lane(), msg.dfp_commit_frontier);
+  }
+  execute_ready();
+}
+
+void Replica::broadcast_heartbeat() {
+  maybe_run_failure_recovery();
+  // Our own DM lane: empty positions below our clock are no-ops.
+  log_.advance_watermark(static_cast<std::uint32_t>(rank_), local_now().nanos());
+
+  Heartbeat msg;
+  msg.sender_local_time = local_now();
+  if (is_coordinator() || config_.all_replicas_learn) {
+    // Advance the committed-no-op frontier from directly received
+    // watermarks. In every-replica-learner mode each replica computes this
+    // locally (Section 5.7); otherwise only the coordinator does, and
+    // followers learn it from the heartbeat field below.
+    commit_frontier_ = computed_commit_frontier();
+    log_.advance_watermark(dfp_lane(), commit_frontier_);
+    if (is_coordinator()) msg.dfp_commit_frontier = commit_frontier_;
+    // Garbage-collect resolved positions behind the frontier.
+    for (auto it = dfp_positions_.begin();
+         it != dfp_positions_.end() && it->first < commit_frontier_;) {
+      it = it->second.resolved ? dfp_positions_.erase(it) : std::next(it);
+    }
+  }
+  for (NodeId r : replicas_) {
+    if (r != id()) send(r, msg);
+  }
+  execute_ready();
+}
+
+void Replica::execute_ready() {
+  for (auto& [pos, command] : log_.drain_executable()) {
+    (void)pos;
+    store_.apply(command);
+    if (exec_hook_) exec_hook_(command.id, true_now());
+  }
+}
+
+}  // namespace domino::core

@@ -1,0 +1,172 @@
+// EPaxos wire messages (paper reference [26]).
+//
+// Commands are identified by (command leader, instance number). Dependencies
+// are the interfering instances a command must be ordered after; with the
+// key-value write workload, two commands interfere iff they write the same
+// key (the paper's workload uses exactly this definition).
+#pragma once
+
+#include <vector>
+
+#include "statemachine/command.h"
+#include "wire/message.h"
+
+namespace domino::epaxos {
+
+struct InstanceId {
+  NodeId replica;
+  std::uint64_t seq = 0;  // per-replica instance counter
+
+  constexpr auto operator<=>(const InstanceId&) const = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return replica.to_string() + "." + std::to_string(seq);
+  }
+
+  void encode(wire::ByteWriter& w) const {
+    w.node_id(replica);
+    w.varint(seq);
+  }
+  static InstanceId decode(wire::ByteReader& r) {
+    InstanceId id;
+    id.replica = r.node_id();
+    id.seq = r.varint();
+    return id;
+  }
+};
+
+using DepList = std::vector<InstanceId>;
+
+inline void encode_deps(wire::ByteWriter& w, const DepList& deps) {
+  w.varint(deps.size());
+  for (const auto& d : deps) d.encode(w);
+}
+
+inline DepList decode_deps(wire::ByteReader& r) {
+  DepList deps(r.length_prefix(5));
+  for (auto& d : deps) d = InstanceId::decode(r);
+  return deps;
+}
+
+struct ClientRequest {
+  static constexpr wire::MessageType kType = wire::MessageType::kEpaxosClientRequest;
+  sm::Command command;
+
+  void encode(wire::ByteWriter& w) const { command.encode(w); }
+  static ClientRequest decode(wire::ByteReader& r) { return {sm::Command::decode(r)}; }
+};
+
+struct PreAccept {
+  static constexpr wire::MessageType kType = wire::MessageType::kEpaxosPreAccept;
+  InstanceId instance;
+  sm::Command command;
+  std::uint64_t seq = 0;  // ordering sequence number, not the instance seq
+  DepList deps;
+
+  void encode(wire::ByteWriter& w) const {
+    instance.encode(w);
+    command.encode(w);
+    w.varint(seq);
+    encode_deps(w, deps);
+  }
+  static PreAccept decode(wire::ByteReader& r) {
+    PreAccept m;
+    m.instance = InstanceId::decode(r);
+    m.command = sm::Command::decode(r);
+    m.seq = r.varint();
+    m.deps = decode_deps(r);
+    return m;
+  }
+};
+
+struct PreAcceptReply {
+  static constexpr wire::MessageType kType = wire::MessageType::kEpaxosPreAcceptReply;
+  InstanceId instance;
+  std::uint64_t seq = 0;
+  DepList deps;
+
+  void encode(wire::ByteWriter& w) const {
+    instance.encode(w);
+    w.varint(seq);
+    encode_deps(w, deps);
+  }
+  static PreAcceptReply decode(wire::ByteReader& r) {
+    PreAcceptReply m;
+    m.instance = InstanceId::decode(r);
+    m.seq = r.varint();
+    m.deps = decode_deps(r);
+    return m;
+  }
+};
+
+struct Accept {
+  static constexpr wire::MessageType kType = wire::MessageType::kEpaxosAccept;
+  InstanceId instance;
+  sm::Command command;
+  std::uint64_t seq = 0;
+  DepList deps;
+
+  void encode(wire::ByteWriter& w) const {
+    instance.encode(w);
+    command.encode(w);
+    w.varint(seq);
+    encode_deps(w, deps);
+  }
+  static Accept decode(wire::ByteReader& r) {
+    Accept m;
+    m.instance = InstanceId::decode(r);
+    m.command = sm::Command::decode(r);
+    m.seq = r.varint();
+    m.deps = decode_deps(r);
+    return m;
+  }
+};
+
+struct AcceptReply {
+  static constexpr wire::MessageType kType = wire::MessageType::kEpaxosAcceptReply;
+  InstanceId instance;
+
+  void encode(wire::ByteWriter& w) const { instance.encode(w); }
+  static AcceptReply decode(wire::ByteReader& r) { return {InstanceId::decode(r)}; }
+};
+
+struct Commit {
+  static constexpr wire::MessageType kType = wire::MessageType::kEpaxosCommit;
+  InstanceId instance;
+  sm::Command command;
+  std::uint64_t seq = 0;
+  DepList deps;
+
+  void encode(wire::ByteWriter& w) const {
+    instance.encode(w);
+    command.encode(w);
+    w.varint(seq);
+    encode_deps(w, deps);
+  }
+  static Commit decode(wire::ByteReader& r) {
+    Commit m;
+    m.instance = InstanceId::decode(r);
+    m.command = sm::Command::decode(r);
+    m.seq = r.varint();
+    m.deps = decode_deps(r);
+    return m;
+  }
+};
+
+struct ClientReply {
+  static constexpr wire::MessageType kType = wire::MessageType::kEpaxosClientReply;
+  RequestId request;
+
+  void encode(wire::ByteWriter& w) const { w.request_id(request); }
+  static ClientReply decode(wire::ByteReader& r) { return {r.request_id()}; }
+};
+
+}  // namespace domino::epaxos
+
+template <>
+struct std::hash<domino::epaxos::InstanceId> {
+  std::size_t operator()(const domino::epaxos::InstanceId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(id.replica.value()) << 40) ^ id.seq);
+  }
+};

@@ -1,0 +1,312 @@
+#include "epaxos/replica.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace domino::epaxos {
+namespace {
+
+/// Union of two dependency lists (small lists; linear scan is fine).
+DepList merge_deps(DepList a, const DepList& b) {
+  for (const auto& d : b) {
+    if (std::find(a.begin(), a.end(), d) == a.end()) a.push_back(d);
+  }
+  return a;
+}
+
+bool same_deps(const DepList& a, const DepList& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& d : a) {
+    if (std::find(b.begin(), b.end(), d) == b.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Replica::Replica(NodeId id, std::size_t dc, net::Network& network,
+                 std::vector<NodeId> replicas, sim::LocalClock clock)
+    : rpc::Node(id, dc, network, clock), replicas_(std::move(replicas)) {
+  if (std::find(replicas_.begin(), replicas_.end(), id) == replicas_.end()) {
+    throw std::invalid_argument("epaxos::Replica: id not in replica set");
+  }
+}
+
+void Replica::on_packet(const net::Packet& packet) {
+  switch (wire::peek_type(packet.payload)) {
+    case wire::MessageType::kEpaxosClientRequest:
+      handle_client_request(packet);
+      break;
+    case wire::MessageType::kEpaxosPreAccept:
+      handle_preaccept(packet.src, packet.payload);
+      break;
+    case wire::MessageType::kEpaxosPreAcceptReply:
+      handle_preaccept_reply(packet.payload);
+      break;
+    case wire::MessageType::kEpaxosAccept:
+      handle_accept(packet.src, packet.payload);
+      break;
+    case wire::MessageType::kEpaxosAcceptReply:
+      handle_accept_reply(packet.payload);
+      break;
+    case wire::MessageType::kEpaxosCommit:
+      handle_commit(packet.payload);
+      break;
+    default:
+      break;
+  }
+}
+
+std::pair<std::uint64_t, DepList> Replica::attributes_for(const sm::Command& cmd,
+                                                          const InstanceId& inst) {
+  std::uint64_t seq = 1;
+  DepList deps;
+  auto it = key_table_.find(cmd.key);
+  if (it != key_table_.end() && it->second.first != inst) {
+    deps.push_back(it->second.first);
+    seq = it->second.second + 1;
+  }
+  key_table_[cmd.key] = {inst, seq};
+  return {seq, deps};
+}
+
+void Replica::handle_client_request(const net::Packet& packet) {
+  const auto req = wire::decode_message<ClientRequest>(packet.payload);
+  const InstanceId inst{id(), next_instance_++};
+  auto [seq, deps] = attributes_for(req.command, inst);
+  instances_[inst] = Instance{req.command, seq, deps, Status::kPreAccepted};
+  LeaderBook book;
+  book.seq = seq;
+  book.deps = deps;
+  book.client = req.command.id.client;
+  leading_[inst] = std::move(book);
+
+  PreAccept msg{inst, req.command, seq, deps};
+  for (NodeId r : replicas_) {
+    if (r != id()) send(r, msg);
+  }
+}
+
+void Replica::handle_preaccept(NodeId from, const wire::Payload& payload) {
+  const auto msg = wire::decode_message<PreAccept>(payload);
+  std::uint64_t seq = msg.seq;
+  DepList deps = msg.deps;
+  auto it = key_table_.find(msg.command.key);
+  if (it != key_table_.end() && it->second.first != msg.instance) {
+    seq = std::max(seq, it->second.second + 1);
+    deps = merge_deps(std::move(deps), {it->second.first});
+  }
+  key_table_[msg.command.key] = {msg.instance, seq};
+  // A commit may already have arrived on another channel; never downgrade.
+  auto inst_it = instances_.find(msg.instance);
+  if (inst_it == instances_.end() || inst_it->second.status == Status::kPreAccepted) {
+    instances_[msg.instance] = Instance{msg.command, seq, deps, Status::kPreAccepted};
+  }
+  send(from, PreAcceptReply{msg.instance, seq, deps});
+}
+
+void Replica::handle_preaccept_reply(const wire::Payload& payload) {
+  const auto msg = wire::decode_message<PreAcceptReply>(payload);
+  auto book_it = leading_.find(msg.instance);
+  if (book_it == leading_.end()) return;
+  LeaderBook& book = book_it->second;
+  if (book.in_accept_phase) return;
+  auto inst_it = instances_.find(msg.instance);
+  if (inst_it == instances_.end() || inst_it->second.status != Status::kPreAccepted) return;
+
+  ++book.preaccept_replies;
+  if (msg.seq != book.seq || !same_deps(msg.deps, book.deps)) {
+    book.attributes_changed = true;
+    book.seq = std::max(book.seq, msg.seq);
+    book.deps = merge_deps(std::move(book.deps), msg.deps);
+  }
+  if (book.preaccept_replies + 1 < fast_quorum(replicas_.size())) return;
+
+  Instance& inst = inst_it->second;
+  if (!book.attributes_changed) {
+    // Fast path: one round trip.
+    ++fast_commits_;
+    commit_instance(msg.instance, inst.command, book.seq, book.deps, /*broadcast=*/true);
+    send(book.client, ClientReply{inst.command.id});
+    leading_.erase(book_it);
+    return;
+  }
+  // Slow path: Paxos-Accept round with the union attributes.
+  book.in_accept_phase = true;
+  inst.seq = book.seq;
+  inst.deps = book.deps;
+  inst.status = Status::kAccepted;
+  Accept msg_out{msg.instance, inst.command, book.seq, book.deps};
+  for (NodeId r : replicas_) {
+    if (r != id()) send(r, msg_out);
+  }
+}
+
+void Replica::handle_accept(NodeId from, const wire::Payload& payload) {
+  const auto msg = wire::decode_message<Accept>(payload);
+  auto it = instances_.find(msg.instance);
+  if (it == instances_.end()) {
+    instances_[msg.instance] = Instance{msg.command, msg.seq, msg.deps, Status::kAccepted};
+  } else if (it->second.status == Status::kPreAccepted) {
+    it->second.seq = msg.seq;
+    it->second.deps = msg.deps;
+    it->second.status = Status::kAccepted;
+  }
+  auto kt = key_table_.find(msg.command.key);
+  if (kt == key_table_.end() || kt->second.second < msg.seq) {
+    key_table_[msg.command.key] = {msg.instance, msg.seq};
+  }
+  send(from, AcceptReply{msg.instance});
+}
+
+void Replica::handle_accept_reply(const wire::Payload& payload) {
+  const auto msg = wire::decode_message<AcceptReply>(payload);
+  auto book_it = leading_.find(msg.instance);
+  if (book_it == leading_.end()) return;
+  LeaderBook& book = book_it->second;
+  if (!book.in_accept_phase) return;
+  if (++book.accept_replies + 1 < measure::majority(replicas_.size())) return;
+
+  auto inst_it = instances_.find(msg.instance);
+  if (inst_it == instances_.end()) return;
+  ++slow_commits_;
+  commit_instance(msg.instance, inst_it->second.command, book.seq, book.deps,
+                  /*broadcast=*/true);
+  send(book.client, ClientReply{inst_it->second.command.id});
+  leading_.erase(book_it);
+}
+
+void Replica::handle_commit(const wire::Payload& payload) {
+  const auto msg = wire::decode_message<Commit>(payload);
+  commit_instance(msg.instance, msg.command, msg.seq, msg.deps, /*broadcast=*/false);
+}
+
+void Replica::commit_instance(const InstanceId& inst_id, const sm::Command& cmd,
+                              std::uint64_t seq, const DepList& deps, bool broadcast) {
+  auto it = instances_.find(inst_id);
+  if (it == instances_.end()) {
+    it = instances_.emplace(inst_id, Instance{cmd, seq, deps, Status::kCommitted}).first;
+  } else {
+    if (it->second.status == Status::kCommitted || it->second.status == Status::kExecuted) {
+      return;  // idempotent
+    }
+    it->second.seq = seq;
+    it->second.deps = deps;
+    it->second.status = Status::kCommitted;
+  }
+  ++committed_;
+  if (broadcast) {
+    Commit msg{inst_id, cmd, seq, deps};
+    for (NodeId r : replicas_) {
+      if (r != id()) send(r, msg);
+    }
+  }
+  try_execute(inst_id);
+  // Wake instances that were blocked on this commit.
+  auto w = waiters_.find(inst_id);
+  if (w != waiters_.end()) {
+    const std::vector<InstanceId> blocked = std::move(w->second);
+    waiters_.erase(w);
+    for (const auto& b : blocked) try_execute(b);
+  }
+}
+
+void Replica::try_execute(const InstanceId& root) {
+  auto it = instances_.find(root);
+  if (it == instances_.end() || it->second.status != Status::kCommitted) return;
+  execute_scc_from(root);
+}
+
+void Replica::execute_scc_from(const InstanceId& root) {
+  // Iterative Tarjan over the committed dependency graph. Edges run from an
+  // instance to its dependencies; executed instances are terminal. If any
+  // reachable dependency is not yet committed, execution of `root` is
+  // deferred until that dependency commits.
+  struct NodeState {
+    std::size_t index = 0;
+    std::size_t lowlink = 0;
+    bool on_stack = false;
+  };
+  std::unordered_map<InstanceId, NodeState> state;
+  std::vector<InstanceId> stack;               // Tarjan stack
+  std::vector<std::vector<InstanceId>> sccs;   // emitted in dependency-first order
+  std::size_t next_index = 0;
+
+  struct Frame {
+    InstanceId node;
+    std::size_t dep_cursor = 0;
+  };
+  std::vector<Frame> call_stack;
+  call_stack.push_back({root, 0});
+  state[root] = {next_index, next_index, true};
+  ++next_index;
+  stack.push_back(root);
+
+  while (!call_stack.empty()) {
+    Frame& frame = call_stack.back();
+    Instance& inst = instances_.at(frame.node);
+    if (frame.dep_cursor < inst.deps.size()) {
+      const InstanceId dep = inst.deps[frame.dep_cursor++];
+      auto dep_it = instances_.find(dep);
+      if (dep_it == instances_.end() ||
+          (dep_it->second.status != Status::kCommitted &&
+           dep_it->second.status != Status::kExecuted)) {
+        // Uncommitted dependency: defer the whole attempt.
+        waiters_[dep].push_back(root);
+        return;
+      }
+      if (dep_it->second.status == Status::kExecuted) continue;
+      auto st = state.find(dep);
+      if (st == state.end()) {
+        state[dep] = {next_index, next_index, true};
+        ++next_index;
+        stack.push_back(dep);
+        call_stack.push_back({dep, 0});
+      } else if (st->second.on_stack) {
+        auto& me = state.at(frame.node);
+        me.lowlink = std::min(me.lowlink, st->second.index);
+      }
+      continue;
+    }
+    // Node finished: maybe emit an SCC.
+    const NodeState me = state.at(frame.node);
+    if (me.lowlink == me.index) {
+      std::vector<InstanceId> scc;
+      for (;;) {
+        const InstanceId top = stack.back();
+        stack.pop_back();
+        state.at(top).on_stack = false;
+        scc.push_back(top);
+        if (top == frame.node) break;
+      }
+      sccs.push_back(std::move(scc));
+    }
+    const InstanceId finished = frame.node;
+    call_stack.pop_back();
+    if (!call_stack.empty()) {
+      auto& parent = state.at(call_stack.back().node);
+      parent.lowlink = std::min(parent.lowlink, state.at(finished).lowlink);
+    }
+  }
+
+  // SCCs are emitted dependencies-first; execute each, ordering commands
+  // within a component by (seq, instance id).
+  for (auto& scc : sccs) {
+    std::sort(scc.begin(), scc.end(), [this](const InstanceId& a, const InstanceId& b) {
+      const Instance& ia = instances_.at(a);
+      const Instance& ib = instances_.at(b);
+      if (ia.seq != ib.seq) return ia.seq < ib.seq;
+      return a < b;
+    });
+    for (const auto& inst_id : scc) {
+      Instance& inst = instances_.at(inst_id);
+      if (inst.status == Status::kExecuted) continue;
+      inst.status = Status::kExecuted;
+      ++executed_;
+      store_.apply(inst.command);
+      if (exec_hook_) exec_hook_(inst.command.id, true_now());
+    }
+  }
+}
+
+}  // namespace domino::epaxos

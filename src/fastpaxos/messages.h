@@ -1,0 +1,98 @@
+// Classic Fast Paxos SMR messages (paper reference [21] and Section 6's
+// "state machine replication protocol that uses standard Fast Paxos under
+// the same implementation framework").
+//
+// Clients broadcast requests to every replica; each replica independently
+// assigns the request to its next free log index (arrival order) and
+// notifies the coordinator and the originating client. A supermajority of
+// identical (index, request) acceptances commits on the fast path; anything
+// else is resolved by the coordinator's recovery protocol.
+#pragma once
+
+#include "statemachine/command.h"
+#include "wire/message.h"
+
+namespace domino::fastpaxos {
+
+struct ClientRequest {
+  static constexpr wire::MessageType kType = wire::MessageType::kFastPaxosClientRequest;
+  sm::Command command;
+
+  void encode(wire::ByteWriter& w) const { command.encode(w); }
+  static ClientRequest decode(wire::ByteReader& r) { return {sm::Command::decode(r)}; }
+};
+
+struct AcceptNotice {
+  static constexpr wire::MessageType kType = wire::MessageType::kFastPaxosAcceptNotice;
+  std::uint64_t index = 0;
+  sm::Command command;
+
+  void encode(wire::ByteWriter& w) const {
+    w.varint(index);
+    command.encode(w);
+  }
+  static AcceptNotice decode(wire::ByteReader& r) {
+    AcceptNotice m;
+    m.index = r.varint();
+    m.command = sm::Command::decode(r);
+    return m;
+  }
+};
+
+struct RecoveryAccept {
+  static constexpr wire::MessageType kType = wire::MessageType::kFastPaxosRecoveryAccept;
+  std::uint64_t index = 0;
+  bool is_noop = false;
+  sm::Command command;  // meaningful when !is_noop
+
+  void encode(wire::ByteWriter& w) const {
+    w.varint(index);
+    w.boolean(is_noop);
+    command.encode(w);
+  }
+  static RecoveryAccept decode(wire::ByteReader& r) {
+    RecoveryAccept m;
+    m.index = r.varint();
+    m.is_noop = r.boolean();
+    m.command = sm::Command::decode(r);
+    return m;
+  }
+};
+
+struct RecoveryReply {
+  static constexpr wire::MessageType kType = wire::MessageType::kFastPaxosRecoveryReply;
+  std::uint64_t index = 0;
+
+  void encode(wire::ByteWriter& w) const { w.varint(index); }
+  static RecoveryReply decode(wire::ByteReader& r) { return {r.varint()}; }
+};
+
+struct Commit {
+  static constexpr wire::MessageType kType = wire::MessageType::kFastPaxosCommit;
+  std::uint64_t index = 0;
+  bool is_noop = false;
+  sm::Command command;
+
+  void encode(wire::ByteWriter& w) const {
+    w.varint(index);
+    w.boolean(is_noop);
+    command.encode(w);
+  }
+  static Commit decode(wire::ByteReader& r) {
+    Commit m;
+    m.index = r.varint();
+    m.is_noop = r.boolean();
+    m.command = sm::Command::decode(r);
+    return m;
+  }
+};
+
+struct ClientReply {
+  static constexpr wire::MessageType kType = wire::MessageType::kFastPaxosClientReply;
+  RequestId request;
+
+  void encode(wire::ByteWriter& w) const { w.request_id(request); }
+  static ClientReply decode(wire::ByteReader& r) { return {r.request_id()}; }
+};
+
+}  // namespace domino::fastpaxos

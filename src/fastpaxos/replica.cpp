@@ -1,0 +1,267 @@
+#include "fastpaxos/replica.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace domino::fastpaxos {
+
+Replica::Replica(NodeId id, std::size_t dc, net::Network& network,
+                 std::vector<NodeId> replicas, NodeId coordinator,
+                 Duration recovery_timeout, sim::LocalClock clock)
+    : rpc::Node(id, dc, network, clock),
+      replicas_(std::move(replicas)),
+      coordinator_(coordinator),
+      recovery_timeout_(recovery_timeout) {
+  if (std::find(replicas_.begin(), replicas_.end(), id) == replicas_.end()) {
+    throw std::invalid_argument("fastpaxos::Replica: id not in replica set");
+  }
+}
+
+void Replica::on_packet(const net::Packet& packet) {
+  switch (wire::peek_type(packet.payload)) {
+    case wire::MessageType::kFastPaxosClientRequest:
+      handle_client_request(packet);
+      break;
+    case wire::MessageType::kFastPaxosAcceptNotice:
+      handle_accept_notice(packet.src, packet.payload);
+      break;
+    case wire::MessageType::kFastPaxosRecoveryAccept:
+      handle_recovery_accept(packet.src, packet.payload);
+      break;
+    case wire::MessageType::kFastPaxosRecoveryReply:
+      handle_recovery_reply(packet.payload);
+      break;
+    case wire::MessageType::kFastPaxosCommit:
+      handle_commit(packet.payload);
+      break;
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------- acceptor
+
+void Replica::handle_client_request(const net::Packet& packet) {
+  const auto req = wire::decode_message<ClientRequest>(packet.payload);
+  const RequestId rid = req.command.id;
+
+  auto it = assignment_.find(rid);
+  if (it != assignment_.end()) {
+    const std::uint64_t old_index = it->second;
+    const auto* entry = log_.entry(old_index);
+    const bool resolved_against_us =
+        log_.is_skipped(old_index) ||
+        (entry != nullptr && entry->status != log::EntryStatus::kAccepted &&
+         entry->command.id != rid) ||
+        (log_.is_committed(old_index) && entry != nullptr && entry->command.id != rid);
+    const bool committed_here =
+        entry != nullptr && entry->command.id == rid &&
+        entry->status != log::EntryStatus::kAccepted;
+    if (committed_here || !resolved_against_us) return;  // done, or still pending
+    // The request lost its old position; fall through and assign a new one.
+  }
+
+  const std::uint64_t index = next_index_++;
+  log_.accept(index, req.command);
+  assignment_[rid] = index;
+
+  const AcceptNotice notice{index, req.command};
+  send(coordinator_, notice);
+  send(rid.client, notice);
+}
+
+void Replica::handle_recovery_accept(NodeId from, const wire::Payload& payload) {
+  const auto msg = wire::decode_message<RecoveryAccept>(payload);
+  // Ballot 1 from the (only) coordinator always supersedes the ballot-0
+  // acceptance; the actual log update happens on Commit.
+  send(from, RecoveryReply{msg.index});
+}
+
+void Replica::handle_commit(const wire::Payload& payload) {
+  const auto msg = wire::decode_message<Commit>(payload);
+  if (msg.is_noop) {
+    log_.skip(msg.index, msg.index);
+  } else {
+    log_.commit(msg.index, msg.command);
+  }
+  execute_ready();
+}
+
+// ------------------------------------------------------------- coordinator
+
+void Replica::handle_accept_notice(NodeId from, const wire::Payload& payload) {
+  if (!is_coordinator()) return;
+  const auto msg = wire::decode_message<AcceptNotice>(payload);
+  Tally& tally = tallies_[msg.index];
+  if (tally.resolved) {
+    // Late report for an already-resolved position: if this request lost,
+    // get it re-proposed.
+    if (!committed_requests_.contains(msg.command.id)) {
+      for (NodeId r : replicas_) send(r, ClientRequest{msg.command});
+    }
+    return;
+  }
+  tally.reports[from] = msg.command;
+  maybe_resolve(msg.index);
+}
+
+void Replica::maybe_resolve(std::uint64_t index) {
+  Tally& tally = tallies_[index];
+  if (tally.resolved || tally.recovering) return;
+
+  // Count acceptances per request.
+  std::unordered_map<RequestId, std::size_t> counts;
+  for (const auto& [acceptor, cmd] : tally.reports) {
+    (void)acceptor;
+    ++counts[cmd.id];
+  }
+  const std::size_t q = measure::supermajority(replicas_.size());
+  for (const auto& [rid, count] : counts) {
+    if (count >= q) {
+      // Fast path: a supermajority accepted the same request here.
+      sm::Command winner;
+      for (const auto& [acceptor, cmd] : tally.reports) {
+        (void)acceptor;
+        if (cmd.id == rid) {
+          winner = cmd;
+          break;
+        }
+      }
+      finish_commit(index, /*is_noop=*/false, winner, /*was_fast=*/true);
+      return;
+    }
+  }
+
+  if (tally.reports.size() == replicas_.size()) {
+    // Everyone reported and nobody reached a supermajority: collision.
+    start_recovery(index);
+    return;
+  }
+
+  if (!tally.timer_armed) {
+    tally.timer_armed = true;
+    after(recovery_timeout_, [this, index] {
+      auto it = tallies_.find(index);
+      if (it == tallies_.end() || it->second.resolved || it->second.recovering) return;
+      if (it->second.reports.size() >= measure::majority(replicas_.size())) {
+        start_recovery(index);
+      }
+    });
+  }
+}
+
+void Replica::start_recovery(std::uint64_t index) {
+  Tally& tally = tallies_[index];
+  tally.recovering = true;
+
+  // Pick the most-accepted request that is not already committed elsewhere;
+  // no-op if none. (The coordinator has ballot-0 reports from everyone who
+  // responded; with no fast-path winner, any reported value is safe here in
+  // the crash-free ballot-0/ballot-1 regime.)
+  std::unordered_map<RequestId, std::size_t> counts;
+  for (const auto& [acceptor, cmd] : tally.reports) {
+    (void)acceptor;
+    if (committed_requests_.contains(cmd.id)) continue;
+    if (recovery_chosen_.contains(cmd.id)) continue;  // claimed by another index
+    ++counts[cmd.id];
+  }
+  Commit choice;
+  choice.index = index;
+  if (counts.empty()) {
+    choice.is_noop = true;
+  } else {
+    RequestId best{};
+    std::size_t best_count = 0;
+    bool first = true;
+    for (const auto& [rid, count] : counts) {
+      if (first || count > best_count || (count == best_count && rid < best)) {
+        best = rid;
+        best_count = count;
+        first = false;
+      }
+    }
+    for (const auto& [acceptor, cmd] : tally.reports) {
+      (void)acceptor;
+      if (cmd.id == best) {
+        choice.command = cmd;
+        break;
+      }
+    }
+  }
+  if (!choice.is_noop) recovery_chosen_.insert(choice.command.id);
+  tally.recovery_choice = choice;
+  tally.recovery_acks = 1;  // the coordinator accepts its own proposal
+
+  RecoveryAccept msg{index, choice.is_noop, choice.command};
+  for (NodeId r : replicas_) {
+    if (r != id()) send(r, msg);
+  }
+}
+
+void Replica::handle_recovery_reply(const wire::Payload& payload) {
+  if (!is_coordinator()) return;
+  const auto msg = wire::decode_message<RecoveryReply>(payload);
+  auto it = tallies_.find(msg.index);
+  if (it == tallies_.end() || it->second.resolved || !it->second.recovering) return;
+  Tally& tally = it->second;
+  if (++tally.recovery_acks < measure::majority(replicas_.size())) return;
+  const Commit choice = *tally.recovery_choice;
+  finish_commit(msg.index, choice.is_noop, choice.command, /*was_fast=*/false);
+}
+
+void Replica::finish_commit(std::uint64_t index, bool is_noop, const sm::Command& command,
+                            bool was_fast) {
+  Tally& tally = tallies_[index];
+  tally.resolved = true;
+  if (was_fast) {
+    ++fast_commits_;
+  } else {
+    ++slow_commits_;
+  }
+
+  std::optional<RequestId> winner;
+  if (!is_noop) {
+    winner = command.id;
+    committed_requests_.emplace(command.id, command);
+    log_.commit(index, command);
+  } else {
+    log_.skip(index, index);
+  }
+
+  // Notify acceptors first (FIFO: re-proposals below must arrive after the
+  // Commit so acceptors see their old assignment resolved before they are
+  // asked to reassign).
+  const Commit commit{index, is_noop, command};
+  for (NodeId r : replicas_) {
+    if (r != id()) send(r, commit);
+  }
+  if (!is_noop) send(command.id.client, ClientReply{command.id});
+
+  repropose_losers(index, winner);
+  execute_ready();
+}
+
+void Replica::repropose_losers(std::uint64_t index, const std::optional<RequestId>& winner) {
+  Tally& tally = tallies_[index];
+  std::unordered_map<RequestId, sm::Command> losers;
+  for (const auto& [acceptor, cmd] : tally.reports) {
+    (void)acceptor;
+    if (winner && cmd.id == *winner) continue;
+    if (committed_requests_.contains(cmd.id)) continue;
+    losers.emplace(cmd.id, cmd);
+  }
+  for (const auto& [rid, cmd] : losers) {
+    (void)rid;
+    for (NodeId r : replicas_) send(r, ClientRequest{cmd});
+  }
+}
+
+void Replica::execute_ready() {
+  for (auto& [index, command] : log_.drain_executable()) {
+    (void)index;
+    store_.apply(command);
+    if (exec_hook_) exec_hook_(command.id, true_now());
+  }
+}
+
+}  // namespace domino::fastpaxos

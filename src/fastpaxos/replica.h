@@ -1,0 +1,98 @@
+// Classic Fast Paxos replica (acceptor role) and coordinator (learner +
+// recovery proposer).
+//
+// Acceptors assign incoming client requests to consecutive local log
+// indices (arrival order). Because concurrent clients' requests arrive in
+// different orders at different acceptors, indices collide and the
+// coordinator must run the recovery protocol — the behaviour Figure 7
+// quantifies ("Fast Paxos would fall back to its slow path ... even if
+// there are only a small set of concurrent clients").
+//
+// The coordinator is a distinguished replica. Per index it gathers every
+// acceptor's ballot-0 acceptance, fast-commits when a supermajority agrees,
+// and otherwise recovers: it picks the most-accepted not-yet-committed
+// request (no-op if none) and runs a ballot-1 accept round on a majority.
+// Requests that lose their position are re-proposed by the coordinator.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "fastpaxos/messages.h"
+#include "log/index_log.h"
+#include "measure/quorum.h"
+#include "rpc/node.h"
+#include "statemachine/kvstore.h"
+
+namespace domino::fastpaxos {
+
+class Replica : public rpc::Node {
+ public:
+  using ExecuteHook = std::function<void(const RequestId&, TimePoint)>;
+
+  Replica(NodeId id, std::size_t dc, net::Network& network, std::vector<NodeId> replicas,
+          NodeId coordinator, Duration recovery_timeout = milliseconds(500),
+          sim::LocalClock clock = sim::LocalClock{});
+
+  void set_execute_hook(ExecuteHook hook) { exec_hook_ = std::move(hook); }
+
+  [[nodiscard]] bool is_coordinator() const { return coordinator_ == id(); }
+  [[nodiscard]] const log::IndexLog& log() const { return log_; }
+  [[nodiscard]] const sm::KvStore& store() const { return store_; }
+  [[nodiscard]] std::uint64_t fast_commits() const { return fast_commits_; }
+  [[nodiscard]] std::uint64_t slow_commits() const { return slow_commits_; }
+
+ protected:
+  void on_packet(const net::Packet& packet) override;
+
+ private:
+  // ---- acceptor side ----
+  void handle_client_request(const net::Packet& packet);
+  void handle_recovery_accept(NodeId from, const wire::Payload& payload);
+  void handle_commit(const wire::Payload& payload);
+
+  // ---- coordinator side ----
+  void handle_accept_notice(NodeId from, const wire::Payload& payload);
+  void handle_recovery_reply(const wire::Payload& payload);
+  void maybe_resolve(std::uint64_t index);
+  void start_recovery(std::uint64_t index);
+  void finish_commit(std::uint64_t index, bool is_noop, const sm::Command& command,
+                     bool was_fast);
+  void repropose_losers(std::uint64_t index, const std::optional<RequestId>& winner);
+
+  void execute_ready();
+
+  std::vector<NodeId> replicas_;
+  NodeId coordinator_;
+  Duration recovery_timeout_;
+  log::IndexLog log_;
+  sm::KvStore store_;
+  ExecuteHook exec_hook_;
+
+  // Acceptor state: where each request was assigned locally.
+  std::unordered_map<RequestId, std::uint64_t> assignment_;
+  std::uint64_t next_index_ = 0;
+
+  // Coordinator state.
+  struct Tally {
+    std::unordered_map<NodeId, sm::Command> reports;  // acceptor -> accepted command
+    bool resolved = false;
+    bool recovering = false;
+    std::size_t recovery_acks = 0;
+    std::optional<Commit> recovery_choice;
+    bool timer_armed = false;
+  };
+  std::map<std::uint64_t, Tally> tallies_;
+  std::unordered_map<RequestId, sm::Command> committed_requests_;
+  // Requests picked by an in-flight recovery; excluded from concurrent
+  // recovery choices so one request cannot be chosen at two indices.
+  std::unordered_set<RequestId> recovery_chosen_;
+  std::uint64_t fast_commits_ = 0;
+  std::uint64_t slow_commits_ = 0;
+};
+
+}  // namespace domino::fastpaxos

@@ -1,0 +1,28 @@
+#include "harness/collector.h"
+
+namespace domino::harness {
+
+void LatencyCollector::on_send(std::size_t client_index, const RequestId& id, TimePoint at) {
+  (void)client_index;
+  if (at < window_start_ || at > window_end_) return;
+  pending_exec_.emplace(id, at);
+  ++tracked_;
+}
+
+void LatencyCollector::on_commit(std::size_t client_index, const RequestId& id,
+                                 TimePoint sent_at, TimePoint committed_at) {
+  if (sent_at < window_start_ || sent_at > window_end_) return;
+  (void)id;
+  const double ms = (committed_at - sent_at).millis();
+  commit_.add(ms);
+  if (client_index < per_client_.size()) per_client_[client_index].add(ms);
+  ++committed_;
+}
+
+void LatencyCollector::on_execute(const RequestId& id, TimePoint at) {
+  auto it = pending_exec_.find(id);
+  if (it == pending_exec_.end()) return;  // untracked
+  exec_.add((at - it->second).millis());
+}
+
+}  // namespace domino::harness

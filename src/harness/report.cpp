@@ -1,0 +1,60 @@
+#include "harness/report.h"
+
+#include <cstdio>
+
+namespace domino::harness {
+
+std::string summary_line(const std::string& name, const StatAccumulator& s) {
+  char buf[160];
+  if (s.empty()) {
+    std::snprintf(buf, sizeof(buf), "%-14s (no samples)", name.c_str());
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "%-14s p50=%7.1fms  p95=%7.1fms  p99=%7.1fms  mean=%7.1fms  n=%zu",
+                name.c_str(), s.percentile(50), s.percentile(95), s.percentile(99), s.mean(),
+                s.count());
+  return buf;
+}
+
+std::string render_cdf_table(const std::vector<std::string>& names,
+                             const std::vector<const StatAccumulator*>& series,
+                             std::size_t rows) {
+  std::string out = "  CDF   ";
+  char buf[96];
+  for (const auto& n : names) {
+    std::snprintf(buf, sizeof(buf), "%12s", n.c_str());
+    out += buf;
+  }
+  out += "\n";
+  for (std::size_t i = 1; i <= rows; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(rows);
+    std::snprintf(buf, sizeof(buf), "%6.3f  ", frac);
+    out += buf;
+    for (const auto* s : series) {
+      if (s == nullptr || s->empty()) {
+        std::snprintf(buf, sizeof(buf), "%12s", "-");
+      } else {
+        std::snprintf(buf, sizeof(buf), "%12.1f", s->percentile(frac * 100.0));
+      }
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string box_line(const std::string& name, const StatAccumulator& s) {
+  char buf[200];
+  if (s.empty()) {
+    std::snprintf(buf, sizeof(buf), "%-14s (no samples)", name.c_str());
+    return buf;
+  }
+  const auto b = s.box_summary();
+  std::snprintf(buf, sizeof(buf),
+                "%-14s p5=%7.1f  [p25=%7.1f  p50=%7.1f  p75=%7.1f]  p95=%7.1f  (ms)",
+                name.c_str(), b.p5, b.p25, b.p50, b.p75, b.p95);
+  return buf;
+}
+
+}  // namespace domino::harness

@@ -1,0 +1,26 @@
+// Plain-text rendering of experiment results: CDF rows, percentile summary
+// lines, and comparison tables, printed by the bench binaries in the shape
+// of the paper's figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace domino::harness {
+
+/// "name: p50=48.2ms p95=70.1ms p99=81.0ms n=12345"
+[[nodiscard]] std::string summary_line(const std::string& name, const StatAccumulator& s);
+
+/// Multi-series CDF table: one row per CDF fraction, one column per series
+/// (values are the latencies in ms at that fraction). Mirrors the paper's
+/// CDF figures (Figures 7, 8, 10).
+[[nodiscard]] std::string render_cdf_table(const std::vector<std::string>& names,
+                                           const std::vector<const StatAccumulator*>& series,
+                                           std::size_t rows = 20);
+
+/// Box-and-whisker row, as in Figures 2 and 11: p5 [p25 p50 p75] p95.
+[[nodiscard]] std::string box_line(const std::string& name, const StatAccumulator& s);
+
+}  // namespace domino::harness

@@ -1,0 +1,350 @@
+#include "harness/runner.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "core/replica.h"
+#include "epaxos/client.h"
+#include "epaxos/replica.h"
+#include "fastpaxos/client.h"
+#include "fastpaxos/replica.h"
+#include "harness/collector.h"
+#include "mencius/client.h"
+#include "mencius/replica.h"
+#include "net/network.h"
+#include "paxos/client.h"
+#include "paxos/replica.h"
+#include "sim/simulator.h"
+
+namespace domino::harness {
+
+std::string protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kMultiPaxos: return "Multi-Paxos";
+    case Protocol::kMencius: return "Mencius";
+    case Protocol::kEPaxos: return "EPaxos";
+    case Protocol::kFastPaxos: return "Fast Paxos";
+    case Protocol::kDomino: return "Domino";
+  }
+  return "?";
+}
+
+double RunResult::throughput_rps() const {
+  if (measure_window <= Duration::zero()) return 0.0;
+  return static_cast<double>(committed) / measure_window.seconds();
+}
+
+std::size_t closest_replica(const net::Topology& topology,
+                            const std::vector<std::size_t>& replica_dcs,
+                            std::size_t client_dc) {
+  std::size_t best = 0;
+  Duration best_rtt = Duration::max();
+  for (std::size_t i = 0; i < replica_dcs.size(); ++i) {
+    const Duration rtt = topology.rtt(client_dc, replica_dcs[i]);
+    if (rtt < best_rtt) {
+      best_rtt = rtt;
+      best = i;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+NodeId replica_id(std::size_t i) { return NodeId{static_cast<std::uint32_t>(i)}; }
+NodeId client_id(std::size_t i) { return NodeId{static_cast<std::uint32_t>(1000 + i)}; }
+
+struct Env {
+  explicit Env(const Scenario& s)
+      : scenario(s),
+        network(simulator, s.topology, s.seed),
+        clock_rng(s.seed ^ 0x5DEECE66Dull),
+        window_start(TimePoint::epoch() + s.warmup),
+        window_end(window_start + s.measure),
+        collector(window_start, window_end, s.client_dcs.size()) {
+    if (s.replica_dcs.empty()) throw std::invalid_argument("Scenario: no replicas");
+    if (s.leader_index >= s.replica_dcs.size()) {
+      throw std::invalid_argument("Scenario: bad leader index");
+    }
+    network.use_default_links(s.jitter);
+  }
+
+  sim::LocalClock next_clock() {
+    const double stddev = static_cast<double>(scenario.clock_offset_stddev.nanos());
+    return sim::LocalClock{Duration{static_cast<std::int64_t>(clock_rng.normal(0, stddev))},
+                           /*drift_ppm=*/clock_rng.normal(0, 5.0)};
+  }
+
+  /// Configure capacity modelling on a node if the scenario asks for it.
+  void apply_capacity(NodeId id, bool is_replica) {
+    if (is_replica && scenario.replica_service_time > Duration::zero()) {
+      network.set_receive_service_time(id, scenario.replica_service_time);
+    }
+    if (scenario.node_egress_bps > 0.0) {
+      network.set_egress_bandwidth_bps(id, scenario.node_egress_bps);
+    }
+  }
+
+  /// Start load on the clients, run the full schedule, fill common results.
+  template <typename ClientT>
+  void drive(std::vector<std::unique_ptr<ClientT>>& clients, RunResult& result) {
+    workloads.reserve(clients.size());
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      workloads.push_back(std::make_unique<sm::WorkloadGenerator>(
+          scenario.workload, scenario.seed * 7919 + i));
+      ClientT* client = clients[i].get();
+      client->set_send_hook([this, i](const RequestId& id, TimePoint at) {
+        collector.on_send(i, id, at);
+      });
+      client->set_commit_hook(
+          [this, i](const RequestId& id, TimePoint sent, TimePoint committed) {
+            collector.on_commit(i, id, sent, committed);
+          });
+      // Stagger client start to avoid synchronized request bursts.
+      const Duration stagger = milliseconds(1) * static_cast<std::int64_t>(i);
+      simulator.schedule_after(stagger, [this, client, i] {
+        client->start_load(*workloads[i], scenario.rps);
+      });
+      simulator.schedule_at(window_end, [client] { client->stop_load(); });
+    }
+    simulator.run_until(window_end + scenario.cooldown);
+
+    result.commit_ms = collector.commit_ms();
+    result.exec_ms = collector.exec_ms();
+    result.commit_per_client.reserve(clients.size());
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      result.commit_per_client.push_back(collector.commit_ms_of(i));
+    }
+    for (const auto& c : clients) {
+      result.submitted += c->submitted_count();
+    }
+    result.committed = collector.committed_count();
+    result.packets_sent = network.packets_sent();
+    result.bytes_sent = network.bytes_sent();
+    result.measure_window = scenario.measure;
+  }
+
+  const Scenario& scenario;
+  sim::Simulator simulator;
+  net::Network network;
+  Rng clock_rng;
+  TimePoint window_start;
+  TimePoint window_end;
+  LatencyCollector collector;
+  std::vector<std::unique_ptr<sm::WorkloadGenerator>> workloads;
+};
+
+RunResult run_multipaxos_impl(const Scenario& s) {
+  Env env(s);
+  RunResult result;
+
+  std::vector<NodeId> rids;
+  for (std::size_t i = 0; i < s.replica_dcs.size(); ++i) rids.push_back(replica_id(i));
+  const NodeId leader = rids[s.leader_index];
+
+  std::vector<std::unique_ptr<paxos::Replica>> replicas;
+  for (std::size_t i = 0; i < s.replica_dcs.size(); ++i) {
+    auto r = std::make_unique<paxos::Replica>(rids[i], s.replica_dcs[i], env.network, rids,
+                                              leader, env.next_clock());
+    r->attach();
+    env.apply_capacity(rids[i], true);
+    r->set_execute_hook([&env](const RequestId& id, TimePoint at) {
+      env.collector.on_execute(id, at);
+    });
+    replicas.push_back(std::move(r));
+  }
+
+  std::vector<std::unique_ptr<paxos::Client>> clients;
+  for (std::size_t i = 0; i < s.client_dcs.size(); ++i) {
+    auto c = std::make_unique<paxos::Client>(client_id(i), s.client_dcs[i], env.network,
+                                             leader, env.next_clock());
+    c->attach();
+    env.apply_capacity(client_id(i), false);
+    clients.push_back(std::move(c));
+  }
+
+  env.drive(clients, result);
+  return result;
+}
+
+RunResult run_mencius_impl(const Scenario& s) {
+  Env env(s);
+  RunResult result;
+
+  std::vector<NodeId> rids;
+  for (std::size_t i = 0; i < s.replica_dcs.size(); ++i) rids.push_back(replica_id(i));
+
+  std::vector<std::unique_ptr<mencius::Replica>> replicas;
+  for (std::size_t i = 0; i < s.replica_dcs.size(); ++i) {
+    auto r = std::make_unique<mencius::Replica>(rids[i], s.replica_dcs[i], env.network, rids,
+                                                milliseconds(10), env.next_clock());
+    r->attach();
+    r->start();
+    env.apply_capacity(rids[i], true);
+    r->set_execute_hook([&env](const RequestId& id, TimePoint at) {
+      env.collector.on_execute(id, at);
+    });
+    replicas.push_back(std::move(r));
+  }
+
+  std::vector<std::unique_ptr<mencius::Client>> clients;
+  for (std::size_t i = 0; i < s.client_dcs.size(); ++i) {
+    const NodeId coordinator =
+        rids[closest_replica(s.topology, s.replica_dcs, s.client_dcs[i])];
+    auto c = std::make_unique<mencius::Client>(client_id(i), s.client_dcs[i], env.network,
+                                               coordinator, env.next_clock());
+    c->attach();
+    env.apply_capacity(client_id(i), false);
+    clients.push_back(std::move(c));
+  }
+
+  env.drive(clients, result);
+  return result;
+}
+
+RunResult run_epaxos_impl(const Scenario& s) {
+  Env env(s);
+  RunResult result;
+
+  std::vector<NodeId> rids;
+  for (std::size_t i = 0; i < s.replica_dcs.size(); ++i) rids.push_back(replica_id(i));
+
+  std::vector<std::unique_ptr<epaxos::Replica>> replicas;
+  for (std::size_t i = 0; i < s.replica_dcs.size(); ++i) {
+    auto r = std::make_unique<epaxos::Replica>(rids[i], s.replica_dcs[i], env.network, rids,
+                                               env.next_clock());
+    r->attach();
+    env.apply_capacity(rids[i], true);
+    r->set_execute_hook([&env](const RequestId& id, TimePoint at) {
+      env.collector.on_execute(id, at);
+    });
+    replicas.push_back(std::move(r));
+  }
+
+  std::vector<std::unique_ptr<epaxos::Client>> clients;
+  for (std::size_t i = 0; i < s.client_dcs.size(); ++i) {
+    const NodeId leader = rids[closest_replica(s.topology, s.replica_dcs, s.client_dcs[i])];
+    auto c = std::make_unique<epaxos::Client>(client_id(i), s.client_dcs[i], env.network,
+                                              leader, env.next_clock());
+    c->attach();
+    env.apply_capacity(client_id(i), false);
+    clients.push_back(std::move(c));
+  }
+
+  env.drive(clients, result);
+  for (const auto& r : replicas) {
+    result.fast_path += r->fast_path_commits();
+    result.slow_path += r->slow_path_commits();
+  }
+  return result;
+}
+
+RunResult run_fastpaxos_impl(const Scenario& s) {
+  Env env(s);
+  RunResult result;
+
+  std::vector<NodeId> rids;
+  for (std::size_t i = 0; i < s.replica_dcs.size(); ++i) rids.push_back(replica_id(i));
+  const NodeId coordinator = rids[s.leader_index];
+
+  std::vector<std::unique_ptr<fastpaxos::Replica>> replicas;
+  for (std::size_t i = 0; i < s.replica_dcs.size(); ++i) {
+    auto r = std::make_unique<fastpaxos::Replica>(rids[i], s.replica_dcs[i], env.network,
+                                                  rids, coordinator, milliseconds(500),
+                                                  env.next_clock());
+    r->attach();
+    env.apply_capacity(rids[i], true);
+    r->set_execute_hook([&env](const RequestId& id, TimePoint at) {
+      env.collector.on_execute(id, at);
+    });
+    replicas.push_back(std::move(r));
+  }
+
+  std::vector<std::unique_ptr<fastpaxos::Client>> clients;
+  for (std::size_t i = 0; i < s.client_dcs.size(); ++i) {
+    auto c = std::make_unique<fastpaxos::Client>(client_id(i), s.client_dcs[i], env.network,
+                                                 rids, env.next_clock());
+    c->attach();
+    env.apply_capacity(client_id(i), false);
+    clients.push_back(std::move(c));
+  }
+
+  env.drive(clients, result);
+  for (const auto& r : replicas) {
+    result.fast_path += r->fast_commits();
+    result.slow_path += r->slow_commits();
+  }
+  return result;
+}
+
+RunResult run_domino_impl(const Scenario& s) {
+  Env env(s);
+  RunResult result;
+
+  std::vector<NodeId> rids;
+  for (std::size_t i = 0; i < s.replica_dcs.size(); ++i) rids.push_back(replica_id(i));
+  const NodeId coordinator = rids[s.leader_index];
+
+  std::vector<std::unique_ptr<core::Replica>> replicas;
+  for (std::size_t i = 0; i < s.replica_dcs.size(); ++i) {
+    core::ReplicaConfig rc;
+    rc.prober.percentile = s.measurement_percentile;
+    rc.prober.probe_interval = s.probe_interval;
+    rc.prober.window = s.measurement_window;
+    rc.all_replicas_learn = s.domino_all_learners;
+    auto r = std::make_unique<core::Replica>(rids[i], s.replica_dcs[i], env.network, rids,
+                                             coordinator, rc, env.next_clock());
+    r->attach();
+    r->start();
+    env.apply_capacity(rids[i], true);
+    r->set_execute_hook([&env](const RequestId& id, TimePoint at) {
+      env.collector.on_execute(id, at);
+    });
+    replicas.push_back(std::move(r));
+  }
+
+  std::vector<std::unique_ptr<core::Client>> clients;
+  for (std::size_t i = 0; i < s.client_dcs.size(); ++i) {
+    core::ClientConfig cc;
+    cc.prober.percentile = s.measurement_percentile;
+    cc.prober.probe_interval = s.probe_interval;
+    cc.prober.window = s.measurement_window;
+    cc.additional_delay = s.additional_delay;
+    cc.mode = s.domino_mode;
+    cc.adaptive = s.domino_adaptive;
+    cc.timestamp_shard_space = s.domino_timestamp_shard_space;
+    auto c = std::make_unique<core::Client>(client_id(i), s.client_dcs[i], env.network,
+                                            rids, cc, env.next_clock());
+    c->attach();
+    c->start();
+    env.apply_capacity(client_id(i), false);
+    clients.push_back(std::move(c));
+  }
+
+  env.drive(clients, result);
+  for (const auto& r : replicas) {
+    result.fast_path += r->dfp_fast_commits();
+    result.slow_path += r->dfp_slow_commits();
+  }
+  for (const auto& c : clients) {
+    result.dfp_chosen += c->dfp_chosen();
+    result.dm_chosen += c->dm_chosen();
+  }
+  return result;
+}
+
+}  // namespace
+
+RunResult run_protocol(Protocol protocol, const Scenario& scenario) {
+  switch (protocol) {
+    case Protocol::kMultiPaxos: return run_multipaxos_impl(scenario);
+    case Protocol::kMencius: return run_mencius_impl(scenario);
+    case Protocol::kEPaxos: return run_epaxos_impl(scenario);
+    case Protocol::kFastPaxos: return run_fastpaxos_impl(scenario);
+    case Protocol::kDomino: return run_domino_impl(scenario);
+  }
+  throw std::logic_error("run_protocol: unknown protocol");
+}
+
+}  // namespace domino::harness

@@ -1,0 +1,112 @@
+// Experiment runner: builds a deployment of one protocol on a simulated
+// topology, applies the paper's workload, and returns latency statistics.
+//
+// The runner mirrors the paper's experimental settings (Section 7.1):
+// replicas and clients placed in datacenters of the NA or Globe topology,
+// open-loop clients at a fixed request rate, Zipfian keys, a warmup period
+// excluded from measurement, and commit/execution latency collection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/client.h"
+#include "net/latency_model.h"
+#include "net/topology.h"
+#include "statemachine/workload.h"
+
+namespace domino::harness {
+
+struct Scenario {
+  net::Topology topology = net::Topology::globe();
+  std::vector<std::size_t> replica_dcs;  // datacenter index per replica
+  std::vector<std::size_t> client_dcs;   // datacenter index per client
+  /// Index (into replica_dcs) of the Multi-Paxos leader / Fast Paxos and
+  /// DFP coordinator.
+  std::size_t leader_index = 0;
+
+  double rps = 200.0;  // per client, open loop
+  sm::WorkloadConfig workload;
+
+  Duration warmup = seconds(2);
+  Duration measure = seconds(20);
+  Duration cooldown = seconds(2);
+
+  std::uint64_t seed = 1;
+  net::JitterParams jitter;
+  Duration clock_offset_stddev = milliseconds(1);
+
+  // Domino knobs.
+  Duration additional_delay = Duration::zero();  // added to DFP timestamps
+  double measurement_percentile = 95.0;
+  Duration probe_interval = milliseconds(10);    // Section 7.1 default
+  Duration measurement_window = seconds(1);
+  core::ClientConfig::Mode domino_mode = core::ClientConfig::Mode::kAuto;
+  /// Section 5.7 every-replica-learner mode: lowers execution latency by a
+  /// WAN hop at the cost of O(n^2) acceptance traffic. On for the latency
+  /// experiments, off for throughput runs.
+  bool domino_all_learners = true;
+  /// Section 5.4 adaptive feedback control (future-work extension).
+  bool domino_adaptive = false;
+  /// Section 5.3.3 pre-sharded timestamps (0 = off).
+  std::uint32_t domino_timestamp_shard_space = 0;
+
+  // Capacity model (Figure 13 throughput runs); zero = infinitely fast.
+  Duration replica_service_time = Duration::zero();
+  double node_egress_bps = 0.0;
+};
+
+struct RunResult {
+  StatAccumulator commit_ms;                    // all clients
+  std::vector<StatAccumulator> commit_per_client;
+  StatAccumulator exec_ms;
+  std::uint64_t submitted = 0;
+  std::uint64_t committed = 0;
+
+  // Protocol-specific counters (zero when not applicable).
+  std::uint64_t fast_path = 0;
+  std::uint64_t slow_path = 0;
+  std::uint64_t dfp_chosen = 0;
+  std::uint64_t dm_chosen = 0;
+
+  std::uint64_t packets_sent = 0;
+  std::uint64_t bytes_sent = 0;
+
+  /// Committed requests per second of measurement window.
+  [[nodiscard]] double throughput_rps() const;
+  Duration measure_window = Duration::zero();
+};
+
+enum class Protocol { kMultiPaxos, kMencius, kEPaxos, kFastPaxos, kDomino };
+
+[[nodiscard]] std::string protocol_name(Protocol p);
+
+/// Run one protocol on one scenario.
+[[nodiscard]] RunResult run_protocol(Protocol protocol, const Scenario& scenario);
+
+/// Convenience wrappers.
+[[nodiscard]] inline RunResult run_multipaxos(const Scenario& s) {
+  return run_protocol(Protocol::kMultiPaxos, s);
+}
+[[nodiscard]] inline RunResult run_mencius(const Scenario& s) {
+  return run_protocol(Protocol::kMencius, s);
+}
+[[nodiscard]] inline RunResult run_epaxos(const Scenario& s) {
+  return run_protocol(Protocol::kEPaxos, s);
+}
+[[nodiscard]] inline RunResult run_fastpaxos(const Scenario& s) {
+  return run_protocol(Protocol::kFastPaxos, s);
+}
+[[nodiscard]] inline RunResult run_domino(const Scenario& s) {
+  return run_protocol(Protocol::kDomino, s);
+}
+
+/// The closest replica (index into replica_dcs) for a client datacenter,
+/// by topology RTT — how the paper pre-configures Mencius/EPaxos clients.
+[[nodiscard]] std::size_t closest_replica(const net::Topology& topology,
+                                          const std::vector<std::size_t>& replica_dcs,
+                                          std::size_t client_dc);
+
+}  // namespace domino::harness

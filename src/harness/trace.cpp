@@ -1,0 +1,91 @@
+#include "harness/trace.h"
+
+#include <cmath>
+
+#include "common/window_estimator.h"
+
+namespace domino::harness {
+namespace {
+
+Duration jitter(Rng& rng, const LinkTraceConfig& c) {
+  Duration j = milliseconds_d(rng.lognormal(c.jitter_mu_ms, c.jitter_sigma));
+  if (c.spike_prob > 0 && rng.chance(c.spike_prob)) {
+    j += Duration{static_cast<std::int64_t>(
+        rng.exponential(static_cast<double>(c.spike_mean.nanos())))};
+  }
+  return j;
+}
+
+Duration wander(const LinkTraceConfig& c, TimePoint at) {
+  if (c.wander_amplitude == Duration::zero()) return Duration::zero();
+  const double phase =
+      2.0 * M_PI * at.seconds() / std::max(1.0, c.wander_period.seconds());
+  return scale(c.wander_amplitude, std::sin(phase));
+}
+
+}  // namespace
+
+std::vector<ProbeSample> generate_trace(const LinkTraceConfig& c) {
+  Rng rng(c.seed);
+  std::vector<ProbeSample> out;
+  const Duration fwd_base = scale(c.rtt, c.forward_share);
+  const Duration rev_base = c.rtt - fwd_base;
+
+  for (TimePoint t = TimePoint::epoch(); t < TimePoint::epoch() + c.duration;
+       t += c.probe_interval) {
+    const Duration fwd = fwd_base + wander(c, t) + jitter(rng, c);
+    const Duration rev = rev_base + wander(c, t) + jitter(rng, c);
+    ProbeSample s;
+    s.sent_at = t;
+    s.rtt = fwd + rev;
+    // The replica stamps its local clock on receipt: measured OWD is the
+    // true forward delay plus the clock offset between the two endpoints.
+    s.owd_measured = fwd + c.remote_clock_offset;
+    s.owd_true_offset = s.owd_measured;
+    out.push_back(s);
+  }
+  return out;
+}
+
+PredictionOutcome evaluate_predictions(const std::vector<ProbeSample>& trace,
+                                       OwdEstimator estimator, Duration window,
+                                       double percentile) {
+  WindowEstimator estimates(window);
+  PredictionOutcome outcome;
+  std::size_t correct = 0;
+  StatAccumulator late_ms;
+
+  for (const ProbeSample& s : trace) {
+    const auto predicted_offset = estimates.percentile(s.sent_at, percentile);
+    if (predicted_offset) {
+      ++outcome.evaluated;
+      // A request sent now would arrive at offset owd_true_offset; the
+      // prediction is correct if that is <= the predicted offset.
+      if (s.owd_true_offset <= *predicted_offset) {
+        ++correct;
+      } else {
+        late_ms.add((s.owd_true_offset - *predicted_offset).millis());
+      }
+    }
+    // Feed the estimator after predicting (the probe that measures this
+    // sample completes one RTT later; the half-step is negligible at 10 ms
+    // probing).
+    switch (estimator) {
+      case OwdEstimator::kHalfRtt:
+        estimates.add(s.sent_at, s.rtt / 2);
+        break;
+      case OwdEstimator::kReplicaTimestamp:
+        estimates.add(s.sent_at, s.owd_measured);
+        break;
+    }
+  }
+
+  if (outcome.evaluated > 0) {
+    outcome.correct_rate =
+        static_cast<double>(correct) / static_cast<double>(outcome.evaluated);
+  }
+  outcome.p99_misprediction_ms = late_ms.empty() ? 0.0 : late_ms.percentile(99);
+  return outcome;
+}
+
+}  // namespace domino::harness

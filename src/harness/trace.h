@@ -1,0 +1,70 @@
+// Synthetic delay-trace generation and arrival-time prediction analysis.
+//
+// Stands in for the paper's 24-hour Azure probe traces [4, 5]: a directed
+// link is modelled as a stable one-way propagation delay plus log-normal
+// jitter, rare spikes, optional slow base-delay wander, and optional route
+// asymmetry; endpoints carry clock offsets. From a generated trace the
+// analysis utilities reproduce:
+//   - Figure 3's correct-prediction rate (percentile x window sweep),
+//   - Tables 2 and 3's p99 misprediction values for the half-RTT and
+//     replica-timestamp OWD estimators.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/time.h"
+
+namespace domino::harness {
+
+struct LinkTraceConfig {
+  Duration rtt = milliseconds(67);   // nominal round-trip propagation delay
+  double forward_share = 0.5;        // fraction of the RTT on the forward path
+  double jitter_mu_ms = -2.0;        // log-normal jitter (per direction)
+  double jitter_sigma = 0.8;
+  double spike_prob = 0.0005;
+  Duration spike_mean = milliseconds(8);
+  /// Slow sinusoidal wander of the base delay (amplitude), emulating
+  /// diurnal drift; zero disables.
+  Duration wander_amplitude = Duration::zero();
+  Duration wander_period = seconds(3600);
+  /// Clock offset of the remote endpoint relative to the prober.
+  Duration remote_clock_offset = Duration::zero();
+
+  Duration probe_interval = milliseconds(10);
+  Duration duration = seconds(60);
+  std::uint64_t seed = 1;
+};
+
+struct ProbeSample {
+  TimePoint sent_at;        // prober's clock
+  Duration rtt;             // measured round-trip
+  Duration owd_measured;    // replica timestamp - send timestamp (includes skew)
+  Duration owd_true_offset; // true forward delay + clock skew (what arrivals obey)
+};
+
+/// Generate a probe trace over one directed link pair.
+[[nodiscard]] std::vector<ProbeSample> generate_trace(const LinkTraceConfig& config);
+
+enum class OwdEstimator {
+  kHalfRtt,           // predicted arrival offset = RTT/2 (no skew correction)
+  kReplicaTimestamp,  // Domino's Section 5.4 technique
+};
+
+struct PredictionOutcome {
+  double correct_rate = 0.0;        // fraction of arrivals at/before prediction
+  double p99_misprediction_ms = 0;  // over late arrivals only (paper's metric)
+  std::size_t evaluated = 0;
+};
+
+/// Replay `trace` through a sliding-window percentile predictor and score
+/// arrival-time predictions, exactly as Sections 3 and 5.4 evaluate them:
+/// prediction for a request sent at t = t + percentile(window) estimate of
+/// the arrival offset; an arrival at or before the prediction is correct;
+/// the misprediction value of a late arrival is (actual - predicted).
+[[nodiscard]] PredictionOutcome evaluate_predictions(const std::vector<ProbeSample>& trace,
+                                                     OwdEstimator estimator, Duration window,
+                                                     double percentile);
+
+}  // namespace domino::harness

@@ -1,0 +1,185 @@
+#include "log/global_log.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace domino::log {
+
+GlobalLog::GlobalLog(std::size_t lane_count) : lanes_(lane_count) {
+  if (lane_count < 2) throw std::invalid_argument("GlobalLog: need >= 2 lanes (1 DM + DFP)");
+}
+
+void GlobalLog::accept(LogPosition pos, sm::Command command) {
+  if (pos.lane >= lanes_.size()) throw std::out_of_range("GlobalLog::accept: bad lane");
+  Lane& lane = lanes_[pos.lane];
+  if (pos.ts < lane.resolved_below) return;  // already executed & compacted
+  auto it = lane.entries.find(pos.ts);
+  if (it != lane.entries.end()) {
+    if (it->second.status == Status::kAccepted) {
+      it->second.command = std::move(command);
+    } else if (it->second.command.id != command.id) {
+      throw std::logic_error("GlobalLog::accept: conflicting resolved entry at " +
+                             pos.to_string());
+    }
+    return;
+  }
+  lane.entries.emplace(pos.ts, Entry{std::move(command), Status::kAccepted});
+  if (pos.ts <= lane.committed_hint) lane.committed_hint = pos.ts - 1;
+}
+
+void GlobalLog::commit(LogPosition pos, std::optional<sm::Command> command) {
+  if (pos.lane >= lanes_.size()) throw std::out_of_range("GlobalLog::commit: bad lane");
+  Lane& lane = lanes_[pos.lane];
+  if (pos.ts < lane.resolved_below) return;  // idempotent: already executed
+  auto it = lane.entries.find(pos.ts);
+  if (it == lane.entries.end()) {
+    if (!command) throw std::logic_error("GlobalLog::commit: no entry and no command");
+    lane.entries.emplace(pos.ts, Entry{std::move(*command), Status::kCommitted});
+    return;
+  }
+  if (it->second.status == Status::kExecuted) return;  // idempotent
+  if (it->second.status == Status::kAbortedNoop) {
+    throw std::logic_error("GlobalLog::commit: position resolved as no-op " + pos.to_string());
+  }
+  if (command) it->second.command = std::move(*command);
+  it->second.status = Status::kCommitted;
+}
+
+void GlobalLog::resolve_as_noop(LogPosition pos) {
+  if (pos.lane >= lanes_.size()) throw std::out_of_range("GlobalLog::resolve_as_noop");
+  Lane& lane = lanes_[pos.lane];
+  auto it = lane.entries.find(pos.ts);
+  if (it == lane.entries.end()) return;  // nothing accepted here; watermark covers it
+  if (it->second.status == Status::kCommitted || it->second.status == Status::kExecuted) {
+    throw std::logic_error("GlobalLog::resolve_as_noop: position already committed");
+  }
+  it->second.status = Status::kAbortedNoop;
+}
+
+void GlobalLog::advance_watermark(std::uint32_t lane, std::int64_t ts) {
+  if (lane >= lanes_.size()) throw std::out_of_range("GlobalLog::advance_watermark");
+  lanes_[lane].watermark = std::max(lanes_[lane].watermark, ts);
+}
+
+std::int64_t GlobalLog::watermark(std::uint32_t lane) const {
+  if (lane >= lanes_.size()) throw std::out_of_range("GlobalLog::watermark");
+  return lanes_[lane].watermark;
+}
+
+const GlobalLog::Entry* GlobalLog::entry(LogPosition pos) const {
+  if (pos.lane >= lanes_.size()) return nullptr;
+  const auto& entries = lanes_[pos.lane].entries;
+  auto it = entries.find(pos.ts);
+  return it == entries.end() ? nullptr : &it->second;
+}
+
+bool GlobalLog::is_committed(LogPosition pos) const {
+  if (pos.lane < lanes_.size() && pos.ts < lanes_[pos.lane].resolved_below) return true;
+  const Entry* e = entry(pos);
+  return e != nullptr && (e->status == Status::kCommitted || e->status == Status::kExecuted);
+}
+
+bool GlobalLog::is_resolved(LogPosition pos) const {
+  if (pos.lane >= lanes_.size()) return false;
+  const Lane& lane = lanes_[pos.lane];
+  if (pos.ts < lane.resolved_below) return true;
+  const Entry* e = entry(pos);
+  if (e != nullptr) return e->status != Status::kAccepted;
+  return pos.ts < lane.watermark;
+}
+
+std::int64_t GlobalLog::lane_frontier(std::uint32_t lane_idx) const {
+  if (lane_idx >= lanes_.size()) throw std::out_of_range("GlobalLog::lane_frontier");
+  const Lane& l = lanes_[lane_idx];
+  // First entry that is still merely Accepted. The scan starts past the
+  // memoized committed prefix so deep commit backlogs are not rescanned.
+  std::int64_t blocked_at = std::numeric_limits<std::int64_t>::max();
+  std::int64_t wm = std::max(l.watermark, l.resolved_below);
+  for (auto it = l.entries.upper_bound(l.committed_hint); it != l.entries.end(); ++it) {
+    if (it->second.status == Status::kAccepted) {
+      blocked_at = it->first;
+      break;  // ordered map: the first accepted entry is the smallest
+    }
+    l.committed_hint = it->first;
+    if (it->first > wm) break;
+  }
+  // Advance the watermark over resolved entries sitting exactly at it: an
+  // entry at the watermark is resolved even though no-op coverage is
+  // strictly below the watermark.
+  for (;;) {
+    auto it = l.entries.find(wm);
+    if (it == l.entries.end() || it->second.status == Status::kAccepted) break;
+    if (wm == std::numeric_limits<std::int64_t>::max()) break;
+    ++wm;
+  }
+  return std::min(blocked_at, wm);
+}
+
+LogPosition GlobalLog::global_frontier() const {
+  LogPosition frontier{std::numeric_limits<std::int64_t>::max(),
+                       static_cast<std::uint32_t>(lanes_.size())};
+  for (std::uint32_t lane = 0; lane < lanes_.size(); ++lane) {
+    const LogPosition cand{lane_frontier(lane), lane};
+    if (cand < frontier) frontier = cand;
+  }
+  return frontier;
+}
+
+std::vector<std::pair<LogPosition, sm::Command>> GlobalLog::drain_executable() {
+  const LogPosition frontier = global_frontier();
+  std::vector<std::pair<LogPosition, sm::Command>> out;
+  for (std::uint32_t lane_idx = 0; lane_idx < lanes_.size(); ++lane_idx) {
+    Lane& lane = lanes_[lane_idx];
+    auto it = lane.entries.begin();
+    while (it != lane.entries.end()) {
+      const LogPosition pos{it->first, lane_idx};
+      if (!(pos < frontier)) break;
+      if (it->second.status == Status::kCommitted) {
+        out.emplace_back(pos, std::move(it->second.command));
+      }
+      // Everything strictly before the frontier is resolved; compact it.
+      it = lane.entries.erase(it);
+    }
+    // Positions on this lane strictly before the frontier are now resolved
+    // and compacted.
+    const std::int64_t resolved_ts =
+        lane_idx < frontier.lane
+            ? (frontier.ts == std::numeric_limits<std::int64_t>::max() ? frontier.ts
+                                                                       : frontier.ts + 1)
+            : frontier.ts;
+    lane.resolved_below = std::max(lane.resolved_below, resolved_ts);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  executed_ += out.size();
+  return out;
+}
+
+std::vector<GlobalLog::RangeEntry> GlobalLog::entries_in_range(std::uint32_t lane,
+                                                               std::int64_t lo,
+                                                               std::int64_t hi) const {
+  std::vector<RangeEntry> out;
+  if (lane >= lanes_.size()) return out;
+  const Lane& l = lanes_[lane];
+  for (auto it = l.entries.lower_bound(lo); it != l.entries.end() && it->first <= hi; ++it) {
+    const Entry& e = it->second;
+    if (e.status == Status::kAbortedNoop) continue;
+    out.push_back(RangeEntry{it->first, e.command,
+                             e.status == Status::kCommitted || e.status == Status::kExecuted});
+  }
+  return out;
+}
+
+std::size_t GlobalLog::pending_entries() const {
+  std::size_t n = 0;
+  for (const Lane& l : lanes_) {
+    for (const auto& [ts, e] : l.entries) {
+      (void)ts;
+      if (e.status == Status::kAccepted || e.status == Status::kCommitted) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace domino::log

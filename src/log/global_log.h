@@ -1,0 +1,114 @@
+// Domino's global replicated log (Sections 5.3, 5.5, 5.7, and the storage
+// compression of Section 6).
+//
+// The log interleaves DFP and DM positions by (timestamp, lane). Explicit
+// entries are sparse; the billions of empty nanosecond positions are
+// represented by one *committed-no-op watermark* per lane: all empty
+// positions on a lane with timestamp strictly below the lane's watermark
+// are committed no-ops. Watermarks come from the protocol layer:
+//   - DFP lane: the supermajority-th smallest of the replicas' advertised
+//     clock watermarks (Section 5.3.2),
+//   - DM lane r: leader r's advertised clock watermark (Section 5.5).
+//
+// Execution (Section 5.7) drains committed entries in global (ts, lane)
+// order, never crossing a position that is still unresolved: an
+// accepted-but-uncommitted entry, or an empty position at or above its
+// lane's watermark.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "log/position.h"
+#include "statemachine/command.h"
+
+namespace domino::log {
+
+class GlobalLog {
+ public:
+  /// @param lane_count number of lanes: R DM lanes + 1 DFP lane = R + 1.
+  explicit GlobalLog(std::size_t lane_count);
+
+  enum class Status : std::uint8_t { kAccepted, kCommitted, kExecuted, kAbortedNoop };
+
+  struct Entry {
+    sm::Command command;
+    Status status = Status::kAccepted;
+  };
+
+  [[nodiscard]] std::size_t lane_count() const { return lanes_.size(); }
+
+  /// Place a command at `pos` in Accepted state. Overwrites an existing
+  /// accepted entry (slow-path re-acceptance); committed entries cannot be
+  /// replaced with a different command.
+  void accept(LogPosition pos, sm::Command command);
+
+  /// Commit the entry at `pos`, creating it if a command is supplied.
+  void commit(LogPosition pos, std::optional<sm::Command> command = std::nullopt);
+
+  /// Resolve `pos` as a committed no-op even though a command was accepted
+  /// there (the slow path chose no-op; the command must be retried
+  /// elsewhere).
+  void resolve_as_noop(LogPosition pos);
+
+  /// Advance the committed-no-op watermark of `lane` to at least `ts`
+  /// (monotonic; never regresses).
+  void advance_watermark(std::uint32_t lane, std::int64_t ts);
+
+  [[nodiscard]] std::int64_t watermark(std::uint32_t lane) const;
+
+  [[nodiscard]] const Entry* entry(LogPosition pos) const;
+  [[nodiscard]] bool is_committed(LogPosition pos) const;
+
+  /// True when `pos` is resolved: a committed/executed entry, a resolved
+  /// no-op, or an empty position below its lane's watermark.
+  [[nodiscard]] bool is_resolved(LogPosition pos) const;
+
+  /// The first unresolved position on `lane` (its timestamp).
+  [[nodiscard]] std::int64_t lane_frontier(std::uint32_t lane) const;
+
+  /// Global frontier: the smallest unresolved position across lanes.
+  /// Everything strictly before it can execute.
+  [[nodiscard]] LogPosition global_frontier() const;
+
+  /// Pop newly-executable committed entries, in global order, marking them
+  /// Executed.
+  [[nodiscard]] std::vector<std::pair<LogPosition, sm::Command>> drain_executable();
+
+  /// Live (non-compacted) entries on `lane` with timestamp in [lo, hi],
+  /// excluding resolved no-ops. Used by the Section 5.8 failure-recovery
+  /// revocation rounds.
+  struct RangeEntry {
+    std::int64_t ts = 0;
+    sm::Command command;
+    bool committed = false;
+  };
+  [[nodiscard]] std::vector<RangeEntry> entries_in_range(std::uint32_t lane, std::int64_t lo,
+                                                         std::int64_t hi) const;
+
+  [[nodiscard]] std::uint64_t executed_count() const { return executed_; }
+  [[nodiscard]] std::size_t pending_entries() const;
+
+ private:
+  struct Lane {
+    std::map<std::int64_t, Entry> entries;
+    std::int64_t watermark = 0;  // empty positions with ts < watermark are no-ops
+    // Everything below this timestamp has been executed/resolved and its
+    // entries garbage-collected (the paper's Section 6 storage compaction:
+    // "we remove the positions with no-ops to further reduce storage cost").
+    std::int64_t resolved_below = std::numeric_limits<std::int64_t>::min();
+    // Frontier-scan memoization: every entry with ts <= committed_hint has
+    // been verified non-Accepted (committed/executed/no-op), so frontier
+    // scans can skip it. Lowered if an Accepted entry is ever (re)inserted
+    // below it. Keeps lane_frontier() amortized O(1) under deep backlogs.
+    mutable std::int64_t committed_hint = std::numeric_limits<std::int64_t>::min();
+  };
+
+  std::vector<Lane> lanes_;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace domino::log

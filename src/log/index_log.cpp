@@ -1,0 +1,71 @@
+#include "log/index_log.h"
+
+#include <stdexcept>
+
+namespace domino::log {
+
+void IndexLog::accept(std::uint64_t index, sm::Command command) {
+  auto it = entries_.find(index);
+  if (it != entries_.end()) {
+    if (it->second.status != EntryStatus::kAccepted) {
+      throw std::logic_error("IndexLog::accept: position already committed/executed");
+    }
+    it->second.command = std::move(command);
+    return;
+  }
+  entries_.emplace(index, Entry{std::move(command), EntryStatus::kAccepted});
+}
+
+void IndexLog::commit(std::uint64_t index, std::optional<sm::Command> command) {
+  auto it = entries_.find(index);
+  if (it == entries_.end()) {
+    if (!command) throw std::logic_error("IndexLog::commit: no entry and no command");
+    entries_.emplace(index, Entry{std::move(*command), EntryStatus::kCommitted});
+    return;
+  }
+  if (it->second.status == EntryStatus::kExecuted) return;  // idempotent
+  if (command) it->second.command = std::move(*command);
+  it->second.status = EntryStatus::kCommitted;
+}
+
+void IndexLog::skip(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) return;
+  skips_.insert(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi));
+}
+
+const IndexLog::Entry* IndexLog::entry(std::uint64_t index) const {
+  auto it = entries_.find(index);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool IndexLog::is_committed(std::uint64_t index) const {
+  const Entry* e = entry(index);
+  return e != nullptr && e->status != EntryStatus::kAccepted;
+}
+
+std::vector<std::pair<std::uint64_t, sm::Command>> IndexLog::drain_executable() {
+  std::vector<std::pair<std::uint64_t, sm::Command>> out;
+  for (;;) {
+    auto it = entries_.find(exec_frontier_);
+    if (it != entries_.end()) {
+      if (it->second.status == EntryStatus::kCommitted) {
+        it->second.status = EntryStatus::kExecuted;
+        ++executed_;
+        out.emplace_back(exec_frontier_, it->second.command);
+        ++exec_frontier_;
+        continue;
+      }
+      break;  // accepted but not committed: blocks execution
+    }
+    if (skips_.contains(static_cast<std::int64_t>(exec_frontier_))) {
+      // Jump over the whole skipped run in one step.
+      exec_frontier_ = static_cast<std::uint64_t>(
+          skips_.first_gap(static_cast<std::int64_t>(exec_frontier_)));
+      continue;
+    }
+    break;  // empty, unskipped position
+  }
+  return out;
+}
+
+}  // namespace domino::log

@@ -1,0 +1,42 @@
+// Abstract source of per-replica latency estimates.
+//
+// Implemented by Prober (a node measuring for itself) and ProxyFeed (a node
+// consuming a co-located proxy's measurements, Section 5.6: "If there are
+// many clients in one datacenter, we can reduce the number of probing
+// messages by having one dedicated proxy to measure and estimate the
+// network delays to replicas").
+#pragma once
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace domino::measure {
+
+class LatencyView {
+ public:
+  virtual ~LatencyView() = default;
+
+  /// p-th percentile RTT estimate to `target`, Duration::max() if unknown
+  /// or failed.
+  [[nodiscard]] virtual Duration rtt_estimate(NodeId target, double percentile) const = 0;
+
+  /// p-th percentile arrival-offset (one-way delay + clock skew) estimate.
+  [[nodiscard]] virtual Duration owd_estimate(NodeId target, double percentile) const = 0;
+
+  /// Latest replication-latency estimate L_r advertised by `target`.
+  [[nodiscard]] virtual Duration replication_latency_of(NodeId target) const = 0;
+
+  [[nodiscard]] virtual bool looks_failed(NodeId target) const = 0;
+
+  /// The default percentile this view was configured with.
+  [[nodiscard]] virtual double default_percentile() const = 0;
+
+  [[nodiscard]] Duration rtt_estimate(NodeId target) const {
+    return rtt_estimate(target, default_percentile());
+  }
+  [[nodiscard]] Duration owd_estimate(NodeId target) const {
+    return owd_estimate(target, default_percentile());
+  }
+};
+
+}  // namespace domino::measure

@@ -1,0 +1,87 @@
+#include "measure/prober.h"
+
+namespace domino::measure {
+
+Prober::Prober(rpc::Node& owner, std::vector<NodeId> targets, ProberConfig config)
+    : owner_(owner), targets_(std::move(targets)), config_(config) {
+  for (NodeId t : targets_) state_.emplace(t, TargetState{config_.window});
+}
+
+void Prober::start() {
+  started_ = owner_.true_now();
+  ever_started_ = true;
+  timer_.start(owner_.context(), Duration::zero(), config_.probe_interval,
+               [this] { send_probes(); });
+}
+
+void Prober::stop() { timer_.stop(); }
+
+void Prober::send_probes() {
+  const std::uint64_t seq = next_seq_++;
+  for (NodeId t : targets_) {
+    if (t == owner_.id()) continue;
+    Probe p;
+    p.seq = seq;
+    p.sender_local_time = owner_.local_now();
+    owner_.send(t, p);
+    ++probes_sent_;
+  }
+}
+
+void Prober::on_probe_reply(NodeId from, const ProbeReply& reply) {
+  auto it = state_.find(from);
+  if (it == state_.end()) return;
+  TargetState& ts = it->second;
+  const TimePoint local_now = owner_.local_now();
+  ts.rtt.add(local_now, local_now - reply.echo_sender_local_time);
+  ts.owd.add(local_now, reply.replica_local_time - reply.echo_sender_local_time);
+  ts.replication_latency = reply.replication_latency;
+  ts.last_reply_true_time = owner_.true_now();
+  ts.ever_replied = true;
+}
+
+ProbeReply Prober::make_reply(const Probe& probe, TimePoint replica_local_now,
+                              Duration replication_latency) {
+  ProbeReply r;
+  r.seq = probe.seq;
+  r.echo_sender_local_time = probe.sender_local_time;
+  r.replica_local_time = replica_local_now;
+  r.replication_latency = replication_latency;
+  return r;
+}
+
+bool Prober::looks_failed(NodeId target) const {
+  auto it = state_.find(target);
+  if (it == state_.end()) return true;
+  const TargetState& ts = it->second;
+  if (!ts.ever_replied) {
+    // A target that has never answered only counts as failed once probing
+    // has been running long enough for a reply to be overdue.
+    return ever_started_ && owner_.true_now() - started_ > config_.failure_timeout;
+  }
+  return owner_.true_now() - ts.last_reply_true_time > config_.failure_timeout;
+}
+
+Duration Prober::rtt_estimate(NodeId target, double percentile) const {
+  if (target == owner_.id()) return Duration::zero();
+  auto it = state_.find(target);
+  if (it == state_.end() || looks_failed(target)) return Duration::max();
+  const auto v = it->second.rtt.percentile(owner_.local_now(), percentile);
+  return v ? *v : Duration::max();
+}
+
+Duration Prober::owd_estimate(NodeId target, double percentile) const {
+  if (target == owner_.id()) return Duration::zero();
+  auto it = state_.find(target);
+  if (it == state_.end() || looks_failed(target)) return Duration::max();
+  const auto v = it->second.owd.percentile(owner_.local_now(), percentile);
+  return v ? *v : Duration::max();
+}
+
+Duration Prober::replication_latency_of(NodeId target) const {
+  auto it = state_.find(target);
+  if (it == state_.end()) return Duration::max();
+  return it->second.replication_latency;
+}
+
+}  // namespace domino::measure

@@ -1,0 +1,29 @@
+// Quorum arithmetic shared by every protocol in the repository.
+//
+// With n = 2f + 1 replicas (the deployment model throughout the paper):
+//   - a majority quorum is f + 1 replicas,
+//   - a Fast Paxos supermajority ("fast quorum") is ceil(3f/2) + 1 replicas
+//     (paper footnote 1).
+#pragma once
+
+#include <cstddef>
+
+namespace domino::measure {
+
+/// Number of simultaneous failures tolerated by n = 2f + 1 replicas.
+[[nodiscard]] constexpr std::size_t fault_tolerance(std::size_t n) { return (n - 1) / 2; }
+
+[[nodiscard]] constexpr std::size_t majority(std::size_t n) { return fault_tolerance(n) + 1; }
+
+/// ceil(3f/2) + 1 out of n = 2f + 1.
+[[nodiscard]] constexpr std::size_t supermajority(std::size_t n) {
+  const std::size_t f = fault_tolerance(n);
+  return (3 * f + 1) / 2 + 1;
+}
+
+static_assert(majority(3) == 2 && supermajority(3) == 3);
+static_assert(majority(5) == 3 && supermajority(5) == 4);
+static_assert(majority(7) == 4 && supermajority(7) == 6);
+static_assert(majority(9) == 5 && supermajority(9) == 7);
+
+}  // namespace domino::measure

@@ -1,0 +1,89 @@
+// Mencius wire messages.
+//
+// Log positions are pre-sharded round-robin: instance i is owned by replica
+// (i mod n). Skip information ("my unused owned instances below F are
+// no-ops") travels piggybacked on Accepts and AcceptReplies, and on periodic
+// Skip heartbeats, relying on FIFO channels for safety — exactly the
+// technique Domino's DFP borrows (paper Section 5.3.2: "DFP borrows ideas
+// from Mencius").
+#pragma once
+
+#include "statemachine/command.h"
+#include "wire/message.h"
+
+namespace domino::mencius {
+
+struct ClientRequest {
+  static constexpr wire::MessageType kType = wire::MessageType::kMenciusClientRequest;
+  sm::Command command;
+
+  void encode(wire::ByteWriter& w) const { command.encode(w); }
+  static ClientRequest decode(wire::ByteReader& r) { return {sm::Command::decode(r)}; }
+};
+
+struct Accept {
+  static constexpr wire::MessageType kType = wire::MessageType::kMenciusAccept;
+  std::uint64_t index = 0;
+  sm::Command command;
+  /// The sender's own-lane frontier: every owned index < skip_through that
+  /// carries no command (on this FIFO channel's history) is a no-op.
+  std::uint64_t skip_through = 0;
+
+  void encode(wire::ByteWriter& w) const {
+    w.varint(index);
+    command.encode(w);
+    w.varint(skip_through);
+  }
+  static Accept decode(wire::ByteReader& r) {
+    Accept m;
+    m.index = r.varint();
+    m.command = sm::Command::decode(r);
+    m.skip_through = r.varint();
+    return m;
+  }
+};
+
+struct AcceptReply {
+  static constexpr wire::MessageType kType = wire::MessageType::kMenciusAcceptReply;
+  std::uint64_t index = 0;
+  std::uint64_t skip_through = 0;  // the replier's own-lane frontier
+
+  void encode(wire::ByteWriter& w) const {
+    w.varint(index);
+    w.varint(skip_through);
+  }
+  static AcceptReply decode(wire::ByteReader& r) {
+    AcceptReply m;
+    m.index = r.varint();
+    m.skip_through = r.varint();
+    return m;
+  }
+};
+
+struct Commit {
+  static constexpr wire::MessageType kType = wire::MessageType::kMenciusCommit;
+  std::uint64_t index = 0;
+
+  void encode(wire::ByteWriter& w) const { w.varint(index); }
+  static Commit decode(wire::ByteReader& r) { return {r.varint()}; }
+};
+
+/// Heartbeat: advertises the sender's own-lane frontier so idle lanes do not
+/// stall execution at other replicas.
+struct Skip {
+  static constexpr wire::MessageType kType = wire::MessageType::kMenciusSkip;
+  std::uint64_t skip_through = 0;
+
+  void encode(wire::ByteWriter& w) const { w.varint(skip_through); }
+  static Skip decode(wire::ByteReader& r) { return {r.varint()}; }
+};
+
+struct ClientReply {
+  static constexpr wire::MessageType kType = wire::MessageType::kMenciusClientReply;
+  RequestId request;
+
+  void encode(wire::ByteWriter& w) const { w.request_id(request); }
+  static ClientReply decode(wire::ByteReader& r) { return {r.request_id()}; }
+};
+
+}  // namespace domino::mencius

@@ -1,0 +1,160 @@
+#include "mencius/replica.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mencius/messages.h"
+
+namespace domino::mencius {
+
+Replica::Replica(NodeId id, std::size_t dc, net::Network& network,
+                 std::vector<NodeId> replicas, Duration heartbeat_interval,
+                 sim::LocalClock clock)
+    : rpc::Node(id, dc, network, clock),
+      replicas_(std::move(replicas)),
+      heartbeat_interval_(heartbeat_interval),
+      skip_frontier_seen_(replicas_.size(), 0) {
+  const auto it = std::find(replicas_.begin(), replicas_.end(), id);
+  if (it == replicas_.end()) throw std::invalid_argument("mencius::Replica: id not in set");
+  rank_ = static_cast<std::size_t>(it - replicas_.begin());
+  next_own_index_ = rank_;
+}
+
+void Replica::start() {
+  heartbeat_.start(context(), heartbeat_interval_, heartbeat_interval_,
+                   [this] { broadcast_heartbeat(); });
+}
+
+std::uint64_t Replica::next_owned_at_or_after(std::size_t rank, std::uint64_t at_least) const {
+  const auto n = static_cast<std::uint64_t>(replicas_.size());
+  const std::uint64_t rem = at_least % n;
+  const auto target = static_cast<std::uint64_t>(rank);
+  return at_least + (target >= rem ? target - rem : n - rem + target);
+}
+
+void Replica::on_packet(const net::Packet& packet) {
+  switch (wire::peek_type(packet.payload)) {
+    case wire::MessageType::kMenciusClientRequest:
+      handle_client_request(packet);
+      break;
+    case wire::MessageType::kMenciusAccept:
+      handle_accept(packet.src, packet.payload);
+      break;
+    case wire::MessageType::kMenciusAcceptReply:
+      handle_accept_reply(packet.src, packet.payload);
+      break;
+    case wire::MessageType::kMenciusCommit:
+      handle_commit(packet.payload);
+      break;
+    case wire::MessageType::kMenciusSkip:
+      handle_skip(packet.src, packet.payload);
+      break;
+    default:
+      break;
+  }
+}
+
+void Replica::handle_client_request(const net::Packet& packet) {
+  const auto req = wire::decode_message<ClientRequest>(packet.payload);
+  const std::uint64_t p = next_own_index_;
+  next_own_index_ = p + replicas_.size();
+  ++owned_proposals_;
+
+  log_.accept(p, req.command);
+  pending_.emplace(p, Pending{1, req.command.id.client, false});
+  owned_request_.emplace(p, req.command.id);
+
+  Accept msg{p, req.command, p};
+  for (NodeId r : replicas_) {
+    if (r != id()) send(r, msg);
+  }
+}
+
+void Replica::handle_accept(NodeId from, const wire::Payload& payload) {
+  const auto msg = wire::decode_message<Accept>(payload);
+  const std::size_t owner = owner_of(msg.index);
+  apply_skip_frontier(owner, msg.skip_through);
+  log_.accept(msg.index, msg.command);
+  // Receiving a proposal for index p implicitly promises to never use our
+  // own unused instances below p.
+  advance_own_lane(msg.index);
+  send(from, AcceptReply{msg.index, next_own_index_});
+  execute_ready();
+}
+
+void Replica::handle_accept_reply(NodeId from, const wire::Payload& payload) {
+  const auto msg = wire::decode_message<AcceptReply>(payload);
+  const auto from_it = std::find(replicas_.begin(), replicas_.end(), from);
+  if (from_it != replicas_.end()) {
+    apply_skip_frontier(static_cast<std::size_t>(from_it - replicas_.begin()),
+                        msg.skip_through);
+  }
+  auto it = pending_.find(msg.index);
+  if (it != pending_.end() && !it->second.committed) {
+    if (++it->second.acks >= measure::majority(replicas_.size())) {
+      it->second.committed = true;
+      log_.commit(msg.index);
+      for (NodeId r : replicas_) {
+        if (r != id()) send(r, Commit{msg.index});
+      }
+      pending_.erase(it);
+    }
+  }
+  execute_ready();
+}
+
+void Replica::handle_commit(const wire::Payload& payload) {
+  const auto msg = wire::decode_message<Commit>(payload);
+  log_.commit(msg.index);
+  execute_ready();
+}
+
+void Replica::handle_skip(NodeId from, const wire::Payload& payload) {
+  const auto msg = wire::decode_message<Skip>(payload);
+  const auto from_it = std::find(replicas_.begin(), replicas_.end(), from);
+  if (from_it == replicas_.end()) return;
+  apply_skip_frontier(static_cast<std::size_t>(from_it - replicas_.begin()),
+                      msg.skip_through);
+  execute_ready();
+}
+
+void Replica::apply_skip_frontier(std::size_t owner_rank, std::uint64_t frontier) {
+  if (owner_rank >= replicas_.size()) return;
+  std::uint64_t& seen = skip_frontier_seen_[owner_rank];
+  if (frontier <= seen) return;
+  // Walk the owner's instances in [seen, frontier); FIFO channels guarantee
+  // every instance the owner actually used has already been accepted here,
+  // so the empty ones are no-ops.
+  for (std::uint64_t idx = next_owned_at_or_after(owner_rank, seen); idx < frontier;
+       idx += replicas_.size()) {
+    if (log_.entry(idx) == nullptr) log_.skip(idx, idx);
+  }
+  seen = frontier;
+}
+
+void Replica::advance_own_lane(std::uint64_t index) {
+  while (next_own_index_ < index) {
+    log_.skip(next_own_index_, next_own_index_);
+    next_own_index_ += replicas_.size();
+  }
+}
+
+void Replica::execute_ready() {
+  for (auto& [index, command] : log_.drain_executable()) {
+    store_.apply(command);
+    if (exec_hook_) exec_hook_(command.id, true_now());
+    const auto it = owned_request_.find(index);
+    if (it != owned_request_.end()) {
+      send(it->second.client, ClientReply{it->second});
+      owned_request_.erase(it);
+    }
+  }
+}
+
+void Replica::broadcast_heartbeat() {
+  for (NodeId r : replicas_) {
+    if (r != id()) send(r, Skip{next_own_index_});
+  }
+}
+
+}  // namespace domino::mencius

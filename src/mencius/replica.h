@@ -1,0 +1,93 @@
+// Mencius replica (paper reference [24]; used as both a baseline and the
+// design Domino's DM subsystem extends).
+//
+// Every replica leads the log instances congruent to its rank (mod n).
+// A client sends requests to its closest replica, which proposes them at
+// its next owned instance. Commit of instance p at its owner requires a
+// majority of accepts AND the resolution (commit or skip) of all earlier
+// instances — the "delayed commit" behaviour the paper measures as
+// Mencius's extra latency (Section 7.2.2). The client is answered when its
+// instance executes at the owner.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "log/index_log.h"
+#include "measure/quorum.h"
+#include "rpc/node.h"
+#include "statemachine/kvstore.h"
+
+namespace domino::mencius {
+
+class Replica : public rpc::Node {
+ public:
+  using ExecuteHook = std::function<void(const RequestId&, TimePoint)>;
+
+  Replica(NodeId id, std::size_t dc, net::Network& network, std::vector<NodeId> replicas,
+          Duration heartbeat_interval = milliseconds(10),
+          sim::LocalClock clock = sim::LocalClock{});
+
+  /// Start heartbeats; call after attach().
+  void start();
+
+  void set_execute_hook(ExecuteHook hook) { exec_hook_ = std::move(hook); }
+
+  [[nodiscard]] std::size_t rank() const { return rank_; }
+  [[nodiscard]] const log::IndexLog& log() const { return log_; }
+  [[nodiscard]] const sm::KvStore& store() const { return store_; }
+  [[nodiscard]] std::uint64_t owned_proposals() const { return owned_proposals_; }
+
+ protected:
+  void on_packet(const net::Packet& packet) override;
+
+ private:
+  [[nodiscard]] std::size_t owner_of(std::uint64_t index) const {
+    return static_cast<std::size_t>(index % replicas_.size());
+  }
+  /// Smallest index owned by `rank` that is >= `at_least`.
+  [[nodiscard]] std::uint64_t next_owned_at_or_after(std::size_t rank,
+                                                     std::uint64_t at_least) const;
+
+  void handle_client_request(const net::Packet& packet);
+  void handle_accept(NodeId from, const wire::Payload& payload);
+  void handle_accept_reply(NodeId from, const wire::Payload& payload);
+  void handle_commit(const wire::Payload& payload);
+  void handle_skip(NodeId from, const wire::Payload& payload);
+
+  /// Record that `owner_rank`'s unused owned instances below `frontier` are
+  /// no-ops (marks the empty ones in the log).
+  void apply_skip_frontier(std::size_t owner_rank, std::uint64_t frontier);
+
+  /// Advance our own lane past `index`: skip our unused owned instances
+  /// below it (locally; peers learn via piggybacked skip_through).
+  void advance_own_lane(std::uint64_t index);
+
+  void execute_ready();
+  void broadcast_heartbeat();
+
+  std::vector<NodeId> replicas_;
+  std::size_t rank_ = 0;
+  Duration heartbeat_interval_;
+  log::IndexLog log_;
+  sm::KvStore store_;
+  ExecuteHook exec_hook_;
+  rpc::RepeatingTimer heartbeat_;
+
+  std::uint64_t next_own_index_ = 0;  // smallest unused owned instance
+  std::vector<std::uint64_t> skip_frontier_seen_;  // per owner rank
+
+  // Owner-side pending instances: index -> (acks incl self, origin client).
+  struct Pending {
+    std::size_t acks = 1;
+    NodeId client;
+    bool committed = false;
+  };
+  std::map<std::uint64_t, Pending> pending_;  // ordered: commit in index order
+  std::unordered_map<std::uint64_t, RequestId> owned_request_;  // index -> request id
+  std::uint64_t owned_proposals_ = 0;
+};
+
+}  // namespace domino::mencius

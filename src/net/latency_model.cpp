@@ -1,0 +1,42 @@
+#include "net/latency_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace domino::net {
+namespace {
+
+Duration jitter_sample(const JitterParams& p, Rng& rng) {
+  Duration jitter = milliseconds_d(rng.lognormal(p.jitter_mu_ms, p.jitter_sigma));
+  if (p.spike_prob > 0 && rng.chance(p.spike_prob)) {
+    jitter += Duration{static_cast<std::int64_t>(
+        rng.exponential(static_cast<double>(p.spike_mean.nanos())))};
+  }
+  return jitter;
+}
+
+}  // namespace
+
+Duration JitterLatency::sample(TimePoint, Rng& rng) { return base_ + jitter_sample(p_, rng); }
+
+ScheduledLatency::ScheduledLatency(std::vector<Step> steps, JitterParams params)
+    : steps_(std::move(steps)), p_(params) {
+  assert(!steps_.empty());
+  assert(std::is_sorted(steps_.begin(), steps_.end(),
+                        [](const Step& a, const Step& b) { return a.from < b.from; }));
+}
+
+Duration ScheduledLatency::base(TimePoint now) const {
+  Duration current = steps_.front().base;
+  for (const Step& s : steps_) {
+    if (s.from <= now) current = s.base;
+    else break;
+  }
+  return current;
+}
+
+Duration ScheduledLatency::sample(TimePoint now, Rng& rng) {
+  return base(now) + jitter_sample(p_, rng);
+}
+
+}  // namespace domino::net

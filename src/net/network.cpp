@@ -1,0 +1,138 @@
+#include "net/network.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace domino::net {
+
+Network::Network(sim::Simulator& simulator, Topology topology, std::uint64_t seed)
+    : sim_(simulator), topology_(std::move(topology)), rng_(seed) {
+  const std::size_t n = topology_.size();
+  links_.resize(n);
+  link_rngs_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    links_[i].resize(n);
+    std::vector<Rng> row;
+    row.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) row.push_back(rng_.fork());
+    link_rngs_.push_back(std::move(row));
+  }
+  // Default every link (including intra-DC) to its constant base OWD; callers
+  // typically replace inter-DC links via use_default_links().
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      links_[i][j] = std::make_unique<ConstantLatency>(topology_.owd(i, j));
+    }
+  }
+}
+
+void Network::use_default_links(const JitterParams& params) {
+  const std::size_t n = topology_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;  // keep intra-DC constant
+      links_[i][j] = std::make_unique<JitterLatency>(topology_.owd(i, j), params);
+    }
+  }
+}
+
+void Network::set_link_model(std::size_t from_dc, std::size_t to_dc,
+                             std::unique_ptr<LatencyModel> model) {
+  if (from_dc >= topology_.size() || to_dc >= topology_.size()) {
+    throw std::out_of_range("Network::set_link_model: bad datacenter index");
+  }
+  links_[from_dc][to_dc] = std::move(model);
+}
+
+LatencyModel& Network::link_model(std::size_t from_dc, std::size_t to_dc) {
+  if (from_dc >= topology_.size() || to_dc >= topology_.size()) {
+    throw std::out_of_range("Network::link_model: bad datacenter index");
+  }
+  return *links_[from_dc][to_dc];
+}
+
+void Network::register_node(NodeId id, std::size_t dc, Receiver receiver) {
+  if (dc >= topology_.size()) throw std::out_of_range("Network::register_node: bad dc");
+  if (nodes_.contains(id)) throw std::invalid_argument("Network: duplicate node id");
+  NodeInfo ni;
+  ni.dc = dc;
+  ni.receiver = std::move(receiver);
+  nodes_.emplace(id, std::move(ni));
+}
+
+Network::NodeInfo& Network::info(NodeId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw std::out_of_range("Network: unknown node " + id.to_string());
+  return it->second;
+}
+
+const Network::NodeInfo& Network::info(NodeId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw std::out_of_range("Network: unknown node " + id.to_string());
+  return it->second;
+}
+
+std::size_t Network::dc_of(NodeId id) const { return info(id).dc; }
+
+void Network::set_receive_service_time(NodeId id, Duration per_message) {
+  info(id).rx_service = per_message;
+}
+
+void Network::set_egress_bandwidth_bps(NodeId id, double bits_per_second) {
+  info(id).egress_bps = bits_per_second;
+}
+
+void Network::send(NodeId src, NodeId dst, wire::Payload payload) {
+  NodeInfo& s = info(src);
+  NodeInfo& d = info(dst);
+  if (crashed_.contains(src) || crashed_.contains(dst)) {
+    ++packets_dropped_;
+    return;
+  }
+
+  const TimePoint now = sim_.now();
+  const std::size_t bytes = payload.size() + kFrameOverheadBytes;
+  ++packets_sent_;
+  bytes_sent_ += bytes;
+
+  // Egress serialization: the sender's NIC transmits packets back to back.
+  TimePoint tx_done = now;
+  if (s.egress_bps > 0.0) {
+    const Duration serialize{static_cast<std::int64_t>(
+        static_cast<double>(bytes) * 8.0 / s.egress_bps * 1e9)};
+    const TimePoint start = std::max(now, s.tx_busy_until);
+    tx_done = start + serialize;
+    s.tx_busy_until = tx_done;
+  }
+
+  const Duration owd = links_[s.dc][d.dc]->sample(now, link_rngs_[s.dc][d.dc]);
+  TimePoint arrival = tx_done + owd;
+
+  // FIFO channel: never deliver before (or at the same instant as) an
+  // earlier packet on this (src, dst) channel.
+  TimePoint& last = channel_last_delivery_[ChannelKey{src, dst}];
+  if (arrival <= last) arrival = last + nanoseconds(1);
+  last = arrival;
+
+  // Receive-side CPU: messages are processed serially at rx_service each.
+  TimePoint deliver_at = arrival;
+  if (d.rx_service > Duration::zero()) {
+    const TimePoint start = std::max(arrival, d.rx_busy_until);
+    deliver_at = start + d.rx_service;
+    d.rx_busy_until = deliver_at;
+  }
+
+  sim_.schedule_at(deliver_at,
+                   [this, pkt = Packet{src, dst, now, std::move(payload)}, dst]() mutable {
+                     if (crashed_.contains(dst) || crashed_.contains(pkt.src)) {
+                       ++packets_dropped_;
+                       return;
+                     }
+                     auto it = nodes_.find(dst);
+                     if (it != nodes_.end() && it->second.receiver) {
+                       it->second.receiver(pkt);
+                     }
+                   });
+}
+
+}  // namespace domino::net

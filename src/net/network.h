@@ -1,0 +1,116 @@
+// Simulated wide-area network.
+//
+// The Network owns:
+//   - the node registry (which datacenter each node lives in, and its
+//     receive callback),
+//   - one LatencyModel + RNG stream per directed datacenter pair,
+//   - per node-pair FIFO channels (a message never overtakes an earlier
+//     message on the same (src, dst) channel — the TCP ordering Domino
+//     requires, Section 5.1),
+//   - optional capacity modelling: per-node receive service time (CPU cost
+//     per message) and egress bandwidth, used by the peak-throughput
+//     experiment (Figure 13),
+//   - crash-failure injection.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "net/latency_model.h"
+#include "net/packet.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "wire/codec.h"
+
+namespace domino::net {
+
+/// Wire-level framing overhead charged per packet on top of the payload,
+/// roughly TCP/IP + HTTP2 framing of a small gRPC call.
+inline constexpr std::size_t kFrameOverheadBytes = 64;
+
+class Network {
+ public:
+  using Receiver = std::function<void(const Packet&)>;
+
+  Network(sim::Simulator& simulator, Topology topology, std::uint64_t seed);
+
+  /// Place every directed datacenter link on a JitterLatency model with
+  /// base = RTT/2 and the given jitter parameters.
+  void use_default_links(const JitterParams& params);
+
+  /// Override the model for one directed datacenter pair.
+  void set_link_model(std::size_t from_dc, std::size_t to_dc,
+                      std::unique_ptr<LatencyModel> model);
+
+  [[nodiscard]] LatencyModel& link_model(std::size_t from_dc, std::size_t to_dc);
+
+  /// Register a node in a datacenter. The receiver is invoked (through the
+  /// simulator) when a packet is delivered.
+  void register_node(NodeId id, std::size_t dc, Receiver receiver);
+
+  [[nodiscard]] std::size_t dc_of(NodeId id) const;
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+
+  /// Send `payload` from `src` to `dst`. Self-sends are delivered with the
+  /// intra-datacenter delay. Packets to/from crashed nodes are dropped.
+  void send(NodeId src, NodeId dst, wire::Payload payload);
+
+  /// Capacity modelling (all default off = infinitely fast).
+  void set_receive_service_time(NodeId id, Duration per_message);
+  void set_egress_bandwidth_bps(NodeId id, double bits_per_second);
+
+  /// Crash-failure injection: a crashed node neither sends nor receives.
+  void crash(NodeId id) { crashed_.insert(id); }
+  void recover(NodeId id) { crashed_.erase(id); }
+  [[nodiscard]] bool is_crashed(NodeId id) const { return crashed_.contains(id); }
+
+  // Traffic statistics.
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t packets_dropped() const { return packets_dropped_; }
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+ private:
+  struct NodeInfo {
+    std::size_t dc = 0;
+    Receiver receiver;
+    Duration rx_service = Duration::zero();  // per-message processing time
+    double egress_bps = 0.0;                 // 0 = unlimited
+    TimePoint rx_busy_until = TimePoint::epoch();
+    TimePoint tx_busy_until = TimePoint::epoch();
+  };
+
+  struct ChannelKey {
+    NodeId src, dst;
+    bool operator<(const ChannelKey& o) const {
+      if (src != o.src) return src < o.src;
+      return dst < o.dst;
+    }
+  };
+
+  NodeInfo& info(NodeId id);
+  [[nodiscard]] const NodeInfo& info(NodeId id) const;
+
+  sim::Simulator& sim_;
+  Topology topology_;
+  Rng rng_;
+  std::vector<std::vector<std::unique_ptr<LatencyModel>>> links_;  // [from][to]
+  std::vector<std::vector<Rng>> link_rngs_;
+  std::unordered_map<NodeId, NodeInfo> nodes_;
+  std::map<ChannelKey, TimePoint> channel_last_delivery_;
+  std::unordered_set<NodeId> crashed_;
+
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+};
+
+}  // namespace domino::net

@@ -1,0 +1,19 @@
+// The unit of delivery every transport hands to a node: source,
+// destination, send time, and the encoded message envelope. Shared by the
+// simulated WAN (net::Network) and the real-socket transport (net::tcp).
+#pragma once
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "wire/codec.h"
+
+namespace domino::net {
+
+struct Packet {
+  NodeId src;
+  NodeId dst;
+  TimePoint sent_at;      // true time the packet left the source
+  wire::Payload payload;  // encoded message envelope
+};
+
+}  // namespace domino::net

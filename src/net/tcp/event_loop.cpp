@@ -1,0 +1,105 @@
+#include "net/tcp/event_loop.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace domino::net::tcp {
+
+namespace {
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+}  // namespace
+
+EventLoop::EventLoop() : origin_(std::chrono::steady_clock::now()) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, FdCallback callback) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) throw_errno("epoll_ctl(ADD)");
+  callbacks_[fd] = std::move(callback);
+}
+
+void EventLoop::modify_fd(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) throw_errno("epoll_ctl(MOD)");
+}
+
+void EventLoop::remove_fd(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);  // best effort
+  callbacks_.erase(fd);
+}
+
+void EventLoop::schedule(Duration delay, TimerCallback callback) {
+  if (delay < Duration::zero()) delay = Duration::zero();
+  timers_.push(Timer{now() + delay, timer_seq_++, std::move(callback)});
+}
+
+TimePoint EventLoop::now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - origin_;
+  return TimePoint{std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()};
+}
+
+void EventLoop::run_expired_timers() {
+  while (!timers_.empty() && timers_.top().at <= now()) {
+    // priority_queue::top is const&; move the callback out before pop.
+    TimerCallback cb = std::move(const_cast<Timer&>(timers_.top()).callback);
+    timers_.pop();
+    cb();
+  }
+}
+
+int EventLoop::next_timeout_ms() const {
+  if (timers_.empty()) return -1;
+  const Duration until = timers_.top().at - now();
+  if (until <= Duration::zero()) return 0;
+  return static_cast<int>(until.nanos() / 1'000'000 + 1);
+}
+
+int EventLoop::poll(Duration max_wait) {
+  run_expired_timers();
+  int timeout_ms = next_timeout_ms();
+  const int cap = static_cast<int>(max_wait.nanos() / 1'000'000);
+  if (timeout_ms < 0 || timeout_ms > cap) timeout_ms = cap;
+
+  epoll_event events[64];
+  const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    throw_errno("epoll_wait");
+  }
+  for (int i = 0; i < n; ++i) {
+    auto it = callbacks_.find(events[i].data.fd);
+    if (it != callbacks_.end()) {
+      // Copy: the callback may remove (and thereby invalidate) itself.
+      FdCallback cb = it->second;
+      cb(events[i].events);
+    }
+  }
+  run_expired_timers();
+  return n;
+}
+
+void EventLoop::run() {
+  stopped_ = false;
+  while (!stopped_) {
+    if (callbacks_.empty() && timers_.empty()) break;
+    poll(milliseconds(100));
+  }
+}
+
+}  // namespace domino::net::tcp

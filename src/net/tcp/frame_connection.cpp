@@ -1,0 +1,142 @@
+#include "net/tcp/frame_connection.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace domino::net::tcp {
+
+FrameConnection::FrameConnection(EventLoop& loop, int fd, bool connected)
+    : loop_(loop), fd_(fd), connected_(connected) {}
+
+FrameConnection::~FrameConnection() { close(); }
+
+void FrameConnection::register_with_loop() {
+  want_write_ = !connected_;
+  loop_.add_fd(fd_, EPOLLIN | (want_write_ ? EPOLLOUT : 0u),
+               [this](std::uint32_t events) { on_events(events); });
+}
+
+void FrameConnection::close() {
+  if (fd_ < 0) return;
+  loop_.remove_fd(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  if (on_close_) {
+    // Move out first: the callback may destroy this connection object.
+    CloseCallback cb = std::move(on_close_);
+    on_close_ = nullptr;
+    cb();
+  }
+}
+
+std::size_t FrameConnection::queued_bytes() const { return write_buffer_.size(); }
+
+void FrameConnection::send_frame(const wire::Payload& payload) {
+  if (fd_ < 0) return;
+  if (payload.size() > kMaxFrameBytes) return;  // refuse absurd frames
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    write_buffer_.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  write_buffer_.insert(write_buffer_.end(), payload.begin(), payload.end());
+  ++frames_sent_;
+  if (connected_) {
+    handle_writable();  // opportunistic immediate write
+  } else {
+    update_interest();  // flushed once the connect completes
+  }
+}
+
+void FrameConnection::on_events(std::uint32_t events) {
+  if (!connected_ && (events & (EPOLLOUT | EPOLLERR | EPOLLHUP))) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      close();
+      return;
+    }
+    connected_ = true;
+  }
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    close();
+    return;
+  }
+  if (events & EPOLLIN) handle_readable();
+  if (fd_ >= 0 && (events & EPOLLOUT)) handle_writable();
+}
+
+void FrameConnection::handle_readable() {
+  std::uint8_t chunk[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      read_buffer_.insert(read_buffer_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n == 0) {  // orderly shutdown by the peer
+      close();
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close();
+    return;
+  }
+  // Deliver complete frames.
+  std::size_t offset = 0;
+  while (read_buffer_.size() - offset >= 4) {
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(read_buffer_[offset + i]) << (8 * i);
+    }
+    if (len > kMaxFrameBytes) {  // corrupt peer
+      close();
+      return;
+    }
+    if (read_buffer_.size() - offset - 4 < len) break;
+    wire::Payload frame(read_buffer_.begin() + static_cast<std::ptrdiff_t>(offset + 4),
+                        read_buffer_.begin() + static_cast<std::ptrdiff_t>(offset + 4 + len));
+    offset += 4 + len;
+    ++frames_received_;
+    if (on_frame_) on_frame_(std::move(frame));
+    if (fd_ < 0) return;  // callback closed us
+  }
+  if (offset > 0) {
+    read_buffer_.erase(read_buffer_.begin(),
+                       read_buffer_.begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+}
+
+void FrameConnection::handle_writable() {
+  while (!write_buffer_.empty()) {
+    // deque is not contiguous; write the first contiguous run.
+    std::uint8_t chunk[16384];
+    const std::size_t n = std::min(write_buffer_.size(), sizeof(chunk));
+    std::copy(write_buffer_.begin(),
+              write_buffer_.begin() + static_cast<std::ptrdiff_t>(n), chunk);
+    const ssize_t written = ::send(fd_, chunk, n, MSG_NOSIGNAL);
+    if (written > 0) {
+      write_buffer_.erase(write_buffer_.begin(), write_buffer_.begin() + written);
+      continue;
+    }
+    if (written < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (written < 0 && errno == EINTR) continue;
+    close();
+    return;
+  }
+  update_interest();
+}
+
+void FrameConnection::update_interest() {
+  if (fd_ < 0) return;
+  const bool need_write = !connected_ || !write_buffer_.empty();
+  if (need_write == want_write_) return;
+  want_write_ = need_write;
+  loop_.modify_fd(fd_, EPOLLIN | (need_write ? EPOLLOUT : 0u));
+}
+
+}  // namespace domino::net::tcp

@@ -1,0 +1,71 @@
+// Length-prefixed message framing over a non-blocking TCP socket.
+//
+// Frame format: 4-byte little-endian payload length, then the payload (a
+// wire::Payload message envelope). Handles partial reads/writes and
+// enforces a maximum frame size so a corrupt peer cannot trigger unbounded
+// buffering.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/tcp/event_loop.h"
+#include "wire/codec.h"
+
+namespace domino::net::tcp {
+
+class FrameConnection {
+ public:
+  using FrameCallback = std::function<void(wire::Payload)>;
+  using CloseCallback = std::function<void()>;
+
+  static constexpr std::size_t kMaxFrameBytes = 16 * 1024 * 1024;
+
+  /// Takes ownership of `fd` (must already be non-blocking). Pass
+  /// `connected = false` for a socket with a connect() still in progress;
+  /// the connection completes (or fails) on the first EPOLLOUT.
+  FrameConnection(EventLoop& loop, int fd, bool connected = true);
+  ~FrameConnection();
+  FrameConnection(const FrameConnection&) = delete;
+  FrameConnection& operator=(const FrameConnection&) = delete;
+
+  void set_frame_callback(FrameCallback cb) { on_frame_ = std::move(cb); }
+  void set_close_callback(CloseCallback cb) { on_close_ = std::move(cb); }
+
+  /// Register the socket with the event loop; call once after wiring the
+  /// callbacks.
+  void register_with_loop();
+
+  /// Queue a frame for sending (writes immediately if the socket allows).
+  void send_frame(const wire::Payload& payload);
+
+  /// Close and unregister. Safe to call twice. on_close fires once.
+  void close();
+
+  [[nodiscard]] bool closed() const { return fd_ < 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] std::size_t queued_bytes() const;
+  [[nodiscard]] std::uint64_t frames_received() const { return frames_received_; }
+  [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
+
+ private:
+  void on_events(std::uint32_t events);
+  void handle_readable();
+  void handle_writable();
+  void update_interest();
+
+  EventLoop& loop_;
+  int fd_;
+  bool connected_;
+  bool want_write_ = false;
+  std::vector<std::uint8_t> read_buffer_;
+  std::deque<std::uint8_t> write_buffer_;
+  FrameCallback on_frame_;
+  CloseCallback on_close_;
+  std::uint64_t frames_received_ = 0;
+  std::uint64_t frames_sent_ = 0;
+};
+
+}  // namespace domino::net::tcp

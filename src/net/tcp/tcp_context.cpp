@@ -1,0 +1,63 @@
+#include "net/tcp/tcp_context.h"
+
+#include <stdexcept>
+
+namespace domino::net::tcp {
+
+std::uint16_t TcpContext::host_node(NodeId id, const Endpoint& listen_on) {
+  if (hosts_.contains(id)) throw std::invalid_argument("TcpContext: node already hosted");
+  auto host = std::make_unique<TcpHost>(loop_, id, listen_on);
+  const std::uint16_t port = host->port();
+  // Seed the new host with every known peer, and tell existing hosts about
+  // this one (loopback multi-node setups).
+  for (const auto& [peer, ep] : address_book_) host->add_peer(peer, ep);
+  set_peer_address(id, Endpoint{listen_on.host, port});
+  hosts_.emplace(id, std::move(host));
+  return port;
+}
+
+void TcpContext::set_peer_address(NodeId peer, const Endpoint& endpoint) {
+  address_book_[peer] = endpoint;
+  for (auto& [id, host] : hosts_) {
+    if (id != peer) host->add_peer(peer, endpoint);
+  }
+}
+
+std::uint16_t TcpContext::port_of(NodeId id) const {
+  auto it = hosts_.find(id);
+  if (it == hosts_.end()) throw std::out_of_range("TcpContext: node not hosted here");
+  return it->second->port();
+}
+
+void TcpContext::send(NodeId src, NodeId dst, wire::Payload payload) {
+  auto it = hosts_.find(src);
+  if (it == hosts_.end()) return;  // source not hosted here
+  if (src == dst) {
+    // Loopback to self: deliver through the loop to preserve asynchrony.
+    TcpHost* host = it->second.get();
+    loop_.schedule(Duration::zero(), [host, src, payload = std::move(payload)]() mutable {
+      host->deliver_local(src, std::move(payload));
+    });
+    return;
+  }
+  it->second->send(dst, payload);
+}
+
+void TcpContext::register_node(NodeId id, std::size_t /*dc*/, Receiver receiver) {
+  auto it = hosts_.find(id);
+  if (it == hosts_.end()) {
+    throw std::logic_error("TcpContext: call host_node() before register_node()");
+  }
+  TcpHost* host = it->second.get();
+  host->set_receive_callback(
+      [this, id, receiver = std::move(receiver)](NodeId from, wire::Payload payload) {
+        net::Packet packet;
+        packet.src = from;
+        packet.dst = id;
+        packet.sent_at = loop_.now();  // receive time; senders' clocks differ
+        packet.payload = std::move(payload);
+        receiver(packet);
+      });
+}
+
+}  // namespace domino::net::tcp

@@ -1,0 +1,49 @@
+// rpc::Context implementation over real TCP sockets.
+//
+// One TcpContext serves all nodes hosted by the current process (a
+// production deployment hosts one replica or client per process; tests and
+// demos host several on one event loop). Each registered node gets its own
+// TcpHost/listen socket; the shared address book tells every host where its
+// peers live.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "net/tcp/tcp_host.h"
+#include "rpc/context.h"
+
+namespace domino::net::tcp {
+
+class TcpContext final : public rpc::Context {
+ public:
+  explicit TcpContext(EventLoop& loop) : loop_(loop) {}
+
+  /// Declare a node hosted by THIS process; binds its listen socket
+  /// immediately (port 0 = ephemeral). Must precede register_node(id,...).
+  /// Returns the bound port.
+  std::uint16_t host_node(NodeId id, const Endpoint& listen_on);
+
+  /// Record a peer's address (local or remote); applied to every local host.
+  void set_peer_address(NodeId peer, const Endpoint& endpoint);
+
+  /// Port a locally hosted node is listening on.
+  [[nodiscard]] std::uint16_t port_of(NodeId id) const;
+
+  // ---- rpc::Context ----
+  void send(NodeId src, NodeId dst, wire::Payload payload) override;
+  void schedule(Duration delay, std::function<void()> fn) override {
+    loop_.schedule(delay, std::move(fn));
+  }
+  [[nodiscard]] TimePoint now() const override { return loop_.now(); }
+  void register_node(NodeId id, std::size_t dc, Receiver receiver) override;
+
+  [[nodiscard]] EventLoop& loop() { return loop_; }
+
+ private:
+  EventLoop& loop_;
+  std::unordered_map<NodeId, std::unique_ptr<TcpHost>> hosts_;
+  std::unordered_map<NodeId, Endpoint> address_book_;
+};
+
+}  // namespace domino::net::tcp

@@ -1,0 +1,202 @@
+#include "net/tcp/tcp_host.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace domino::net::tcp {
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+wire::Payload make_hello(NodeId id) {
+  wire::ByteWriter w;
+  w.str("domino-hello");
+  w.node_id(id);
+  return w.take();
+}
+
+bool parse_hello(const wire::Payload& payload, NodeId& id) {
+  try {
+    wire::ByteReader r{payload};
+    if (r.str() != "domino-hello") return false;
+    id = r.node_id();
+    r.expect_exhausted();
+    return true;
+  } catch (const wire::WireError&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+TcpHost::TcpHost(EventLoop& loop, NodeId id, const Endpoint& listen_on)
+    : loop_(loop), id_(id) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(listen_on.port);
+  if (::inet_pton(AF_INET, listen_on.host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("TcpHost: bad listen address " + listen_on.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    throw_errno("bind");
+  }
+  if (::listen(listen_fd_, 64) < 0) throw_errno("listen");
+  set_nonblocking(listen_fd_);
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  loop_.add_fd(listen_fd_, EPOLLIN, [this](std::uint32_t events) { on_accept(events); });
+}
+
+TcpHost::~TcpHost() {
+  if (listen_fd_ >= 0) {
+    loop_.remove_fd(listen_fd_);
+    ::close(listen_fd_);
+  }
+  for (auto& conn : connections_) {
+    if (conn && conn->connection) conn->connection->set_close_callback(nullptr);
+  }
+}
+
+void TcpHost::add_peer(NodeId peer, const Endpoint& endpoint) {
+  address_book_[peer] = endpoint;
+}
+
+void TcpHost::on_accept(std::uint32_t) {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; keep listening
+    }
+    set_nodelay(fd);
+    adopt(fd, NodeId::invalid());
+  }
+}
+
+void TcpHost::adopt(int fd, NodeId peer_if_known) {
+  auto conn = std::make_unique<Conn>();
+  Conn* raw = conn.get();
+  raw->peer = peer_if_known;
+  raw->connection =
+      std::make_unique<FrameConnection>(loop_, fd, /*connected=*/!peer_if_known.valid());
+  raw->connection->set_frame_callback(
+      [this, raw](wire::Payload payload) { on_frame(raw, std::move(payload)); });
+  raw->connection->set_close_callback([this, raw] { on_conn_closed(raw); });
+  raw->connection->register_with_loop();
+  connections_.push_back(std::move(conn));
+  if (peer_if_known.valid()) {
+    by_peer_[peer_if_known] = raw;
+    raw->connection->send_frame(make_hello(id_));
+    raw->hello_sent = true;
+  }
+}
+
+TcpHost::Conn* TcpHost::connect_to(NodeId peer) {
+  auto addr_it = address_book_.find(peer);
+  if (addr_it == address_book_.end()) return nullptr;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return nullptr;
+  set_nodelay(fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(addr_it->second.port);
+  if (::inet_pton(AF_INET, addr_it->second.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return nullptr;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 &&
+      errno != EINPROGRESS) {
+    ::close(fd);
+    return nullptr;
+  }
+  adopt(fd, peer);
+  return by_peer_[peer];
+}
+
+bool TcpHost::send(NodeId to, const wire::Payload& payload) {
+  auto it = by_peer_.find(to);
+  Conn* conn = it != by_peer_.end() ? it->second : connect_to(to);
+  if (conn == nullptr || conn->connection == nullptr || conn->connection->closed()) {
+    return false;
+  }
+  conn->connection->send_frame(payload);
+  return true;
+}
+
+void TcpHost::on_frame(Conn* conn, wire::Payload payload) {
+  if (!conn->peer.valid()) {
+    // Inbound connection: the first frame must be the hello.
+    NodeId peer;
+    if (!parse_hello(payload, peer)) {
+      conn->connection->close();
+      return;
+    }
+    conn->peer = peer;
+    // Prefer the newest connection for a peer (the map may already hold an
+    // outbound one; both work, frames are routed by `conn` regardless).
+    by_peer_.emplace(peer, conn);
+    return;
+  }
+  if (on_receive_) on_receive_(conn->peer, std::move(payload));
+}
+
+void TcpHost::on_conn_closed(Conn* conn) {
+  auto it = by_peer_.find(conn->peer);
+  if (it != by_peer_.end() && it->second == conn) by_peer_.erase(it);
+  // The close callback can fire from inside a FrameConnection member
+  // function; destroying the connection here would free the object under
+  // its own feet. Defer the reap to the next loop iteration. (Corollary:
+  // keep the TcpHost alive until the loop has drained.)
+  loop_.schedule(Duration::zero(), [this, conn] {
+    connections_.erase(
+        std::remove_if(connections_.begin(), connections_.end(),
+                       [conn](const std::unique_ptr<Conn>& c) { return c.get() == conn; }),
+        connections_.end());
+  });
+}
+
+void TcpHost::disconnect(NodeId peer) {
+  auto it = by_peer_.find(peer);
+  if (it == by_peer_.end()) return;
+  it->second->connection->close();  // close callback cleans up the registry
+}
+
+}  // namespace domino::net::tcp

@@ -1,0 +1,84 @@
+#include "net/topology.h"
+
+#include <stdexcept>
+
+namespace domino::net {
+namespace {
+
+// Expands an upper-triangular ms matrix (as printed in the paper's tables)
+// into a full symmetric matrix. `upper[i]` holds RTTs from datacenter i to
+// datacenters i+1..n-1.
+std::vector<std::vector<double>> expand_upper(std::size_t n,
+                                              const std::vector<std::vector<double>>& upper) {
+  std::vector<std::vector<double>> full(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < upper[i].size(); ++k) {
+      const std::size_t j = i + 1 + k;
+      full[i][j] = upper[i][k];
+      full[j][i] = upper[i][k];
+    }
+  }
+  return full;
+}
+
+}  // namespace
+
+Topology::Topology(std::vector<std::string> names, std::vector<std::vector<double>> rtt_ms,
+                   Duration intra_dc_rtt)
+    : names_(std::move(names)) {
+  const std::size_t n = names_.size();
+  if (rtt_ms.size() != n) throw std::invalid_argument("Topology: matrix size mismatch");
+  rtt_.assign(n, std::vector<Duration>(n, intra_dc_rtt));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rtt_ms[i].size() != n) throw std::invalid_argument("Topology: matrix row mismatch");
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) rtt_[i][j] = milliseconds_d(rtt_ms[i][j]);
+    }
+  }
+}
+
+std::size_t Topology::index_of(std::string_view name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  throw std::out_of_range("Topology: unknown datacenter " + std::string(name));
+}
+
+Duration Topology::rtt(std::size_t i, std::size_t j) const {
+  if (i >= size() || j >= size()) throw std::out_of_range("Topology::rtt: bad index");
+  return rtt_[i][j];
+}
+
+Topology Topology::globe() {
+  // Paper Table 1: network roundtrip delays (ms), Globe setting.
+  //        WA   PR   NSW  SG   HK
+  const std::vector<std::vector<double>> upper = {
+      {67, 80, 196, 214, 196},  // VA
+      {136, 175, 163, 141},     // WA
+      {234, 149, 185},          // PR
+      {87, 117},                // NSW
+      {35},                     // SG
+      {},                       // HK
+  };
+  return Topology{{"VA", "WA", "PR", "NSW", "SG", "HK"}, expand_upper(6, upper)};
+}
+
+Topology Topology::north_america() {
+  // Paper Table 4: network roundtrip delays (ms) in North America.
+  //        TX  CA  IA  WA  WY  IL  QC  TRT
+  const std::vector<std::vector<double>> upper = {
+      {27, 59, 31, 67, 46, 26, 38, 29},  // VA
+      {33, 22, 42, 23, 30, 51, 43},      // TX
+      {41, 23, 24, 48, 67, 59},          // CA
+      {36, 14, 8, 32, 22},               // IA
+      {21, 43, 68, 57},                  // WA
+      {24, 46, 36},                      // WY
+      {23, 14},                          // IL
+      {11},                              // QC
+      {},                                // TRT
+  };
+  return Topology{{"VA", "TX", "CA", "IA", "WA", "WY", "IL", "QC", "TRT"},
+                  expand_upper(9, upper)};
+}
+
+}  // namespace domino::net

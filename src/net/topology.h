@@ -1,0 +1,48 @@
+// Datacenter topologies, including the paper's two deployments:
+//
+//   - Globe (Table 1): 6 datacenters — VA, WA, PR, NSW, SG, HK.
+//   - North America (Table 4): 9 datacenters — VA, TX, CA, IA, WA, WY, IL,
+//     QC, TRT.
+//
+// RTT values are the paper's averaged measurements in milliseconds; one-way
+// delays default to RTT/2 per direction and can be skewed per-link to model
+// asymmetric routing (Table 2's half-RTT mispredictions).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.h"
+
+namespace domino::net {
+
+class Topology {
+ public:
+  Topology(std::vector<std::string> names, std::vector<std::vector<double>> rtt_ms,
+           Duration intra_dc_rtt = microseconds(500));
+
+  /// The Globe setting of Table 1.
+  [[nodiscard]] static Topology globe();
+
+  /// The North America setting of Table 4.
+  [[nodiscard]] static Topology north_america();
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+  [[nodiscard]] const std::string& name(std::size_t i) const { return names_[i]; }
+  [[nodiscard]] std::size_t index_of(std::string_view name) const;
+
+  /// Round-trip delay between datacenters i and j (symmetric). i == j gives
+  /// the intra-datacenter RTT.
+  [[nodiscard]] Duration rtt(std::size_t i, std::size_t j) const;
+
+  /// Default one-way delay: rtt / 2.
+  [[nodiscard]] Duration owd(std::size_t i, std::size_t j) const { return rtt(i, j) / 2; }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<Duration>> rtt_;  // full symmetric matrix
+};
+
+}  // namespace domino::net

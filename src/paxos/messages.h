@@ -1,0 +1,63 @@
+// Multi-Paxos wire messages.
+//
+// The evaluation configuration mirrors the paper: a fixed leader (no
+// elections in the measured path — the paper's prototype "does not
+// implement fault tolerance", Section 6), clients send to the leader, the
+// leader replicates to followers and replies after a majority accept.
+#pragma once
+
+#include "statemachine/command.h"
+#include "wire/message.h"
+
+namespace domino::paxos {
+
+struct ClientRequest {
+  static constexpr wire::MessageType kType = wire::MessageType::kPaxosClientRequest;
+  sm::Command command;
+
+  void encode(wire::ByteWriter& w) const { command.encode(w); }
+  static ClientRequest decode(wire::ByteReader& r) { return {sm::Command::decode(r)}; }
+};
+
+struct Accept {
+  static constexpr wire::MessageType kType = wire::MessageType::kPaxosAccept;
+  std::uint64_t index = 0;
+  sm::Command command;
+
+  void encode(wire::ByteWriter& w) const {
+    w.varint(index);
+    command.encode(w);
+  }
+  static Accept decode(wire::ByteReader& r) {
+    Accept m;
+    m.index = r.varint();
+    m.command = sm::Command::decode(r);
+    return m;
+  }
+};
+
+struct AcceptReply {
+  static constexpr wire::MessageType kType = wire::MessageType::kPaxosAcceptReply;
+  std::uint64_t index = 0;
+
+  void encode(wire::ByteWriter& w) const { w.varint(index); }
+  static AcceptReply decode(wire::ByteReader& r) { return {r.varint()}; }
+};
+
+struct Commit {
+  static constexpr wire::MessageType kType = wire::MessageType::kPaxosCommit;
+  std::uint64_t index = 0;
+
+  void encode(wire::ByteWriter& w) const { w.varint(index); }
+  static Commit decode(wire::ByteReader& r) { return {r.varint()}; }
+};
+
+struct ClientReply {
+  static constexpr wire::MessageType kType = wire::MessageType::kPaxosClientReply;
+  RequestId request;
+
+  void encode(wire::ByteWriter& w) const { w.request_id(request); }
+  static ClientReply decode(wire::ByteReader& r) { return {r.request_id()}; }
+};
+
+}  // namespace domino::paxos

@@ -1,0 +1,88 @@
+#include "paxos/replica.h"
+
+#include "paxos/messages.h"
+
+namespace domino::paxos {
+
+Replica::Replica(NodeId id, std::size_t dc, net::Network& network,
+                 std::vector<NodeId> replicas, NodeId leader, sim::LocalClock clock)
+    : rpc::Node(id, dc, network, clock), replicas_(std::move(replicas)), leader_(leader) {}
+
+void Replica::on_packet(const net::Packet& packet) {
+  switch (wire::peek_type(packet.payload)) {
+    case wire::MessageType::kPaxosClientRequest:
+      handle_client_request(packet);
+      break;
+    case wire::MessageType::kPaxosAccept:
+      handle_accept(packet.src, packet.payload);
+      break;
+    case wire::MessageType::kPaxosAcceptReply:
+      handle_accept_reply(packet.payload);
+      break;
+    case wire::MessageType::kPaxosCommit:
+      handle_commit(packet.payload);
+      break;
+    default:
+      break;  // not a Multi-Paxos message; ignore
+  }
+}
+
+void Replica::handle_client_request(const net::Packet& packet) {
+  if (!is_leader()) return;  // clients are configured to talk to the leader only
+  const auto req = wire::decode_message<ClientRequest>(packet.payload);
+  const std::uint64_t index = next_index_++;
+  log_.accept(index, req.command);
+  accept_counts_[index] = 1;  // self-accept
+  origin_[index] = req.command.id.client;
+  Accept msg{index, req.command};
+  for (NodeId r : replicas_) {
+    if (r != id()) send(r, msg);
+  }
+}
+
+void Replica::handle_accept(NodeId from, const wire::Payload& payload) {
+  const auto msg = wire::decode_message<Accept>(payload);
+  log_.accept(msg.index, msg.command);
+  send(from, AcceptReply{msg.index});
+}
+
+void Replica::handle_accept_reply(const wire::Payload& payload) {
+  if (!is_leader()) return;
+  const auto msg = wire::decode_message<AcceptReply>(payload);
+  auto it = accept_counts_.find(msg.index);
+  if (it == accept_counts_.end()) return;  // already committed
+  if (++it->second < measure::majority(replicas_.size())) return;
+
+  accept_counts_.erase(it);
+  log_.commit(msg.index);
+  ++committed_;
+
+  // Reply to the client and notify followers (asynchronously, i.e. the
+  // client does not wait for follower commits).
+  const auto origin_it = origin_.find(msg.index);
+  if (origin_it != origin_.end()) {
+    const auto* entry = log_.entry(msg.index);
+    if (entry != nullptr) send(origin_it->second, ClientReply{entry->command.id});
+    origin_.erase(origin_it);
+  }
+  for (NodeId r : replicas_) {
+    if (r != id()) send(r, Commit{msg.index});
+  }
+  execute_ready();
+}
+
+void Replica::handle_commit(const wire::Payload& payload) {
+  const auto msg = wire::decode_message<Commit>(payload);
+  log_.commit(msg.index);
+  execute_ready();
+}
+
+void Replica::execute_ready() {
+  for (auto& [index, command] : log_.drain_executable()) {
+    (void)index;
+    store_.apply(command);
+    if (exec_hook_) exec_hook_(command.id, true_now());
+  }
+}
+
+}  // namespace domino::paxos

@@ -1,0 +1,62 @@
+// Multi-Paxos replica.
+//
+// One replica is the fixed leader. Clients send requests to the leader,
+// which assigns consecutive log indices, replicates via Accept, commits on
+// a majority of accept replies (counting itself), answers the client, and
+// asynchronously notifies followers. Committed entries execute in index
+// order against the key-value store.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "log/index_log.h"
+#include "measure/prober.h"
+#include "measure/quorum.h"
+#include "rpc/node.h"
+#include "statemachine/kvstore.h"
+
+namespace domino::paxos {
+
+class Replica : public rpc::Node {
+ public:
+  /// Called on every command execution (harness taps this for execution
+  /// latency): the executed command's id and the true execution time.
+  using ExecuteHook = std::function<void(const RequestId&, TimePoint)>;
+
+  Replica(NodeId id, std::size_t dc, net::Network& network, std::vector<NodeId> replicas,
+          NodeId leader, sim::LocalClock clock = sim::LocalClock{});
+
+  void set_execute_hook(ExecuteHook hook) { exec_hook_ = std::move(hook); }
+
+  [[nodiscard]] bool is_leader() const { return leader_ == id(); }
+  [[nodiscard]] NodeId leader() const { return leader_; }
+  [[nodiscard]] const log::IndexLog& log() const { return log_; }
+  [[nodiscard]] const sm::KvStore& store() const { return store_; }
+  [[nodiscard]] std::uint64_t committed_count() const { return committed_; }
+
+ protected:
+  void on_packet(const net::Packet& packet) override;
+
+ private:
+  void handle_client_request(const net::Packet& packet);
+  void handle_accept(NodeId from, const wire::Payload& payload);
+  void handle_accept_reply(const wire::Payload& payload);
+  void handle_commit(const wire::Payload& payload);
+  void execute_ready();
+
+  std::vector<NodeId> replicas_;
+  NodeId leader_;
+  log::IndexLog log_;
+  sm::KvStore store_;
+  ExecuteHook exec_hook_;
+
+  // Leader state.
+  std::uint64_t next_index_ = 0;
+  std::unordered_map<std::uint64_t, std::size_t> accept_counts_;  // index -> acks (incl. self)
+  std::unordered_map<std::uint64_t, NodeId> origin_;              // index -> requesting client
+  std::uint64_t committed_ = 0;
+};
+
+}  // namespace domino::paxos

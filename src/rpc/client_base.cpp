@@ -1,0 +1,38 @@
+#include "rpc/client_base.h"
+
+namespace domino::rpc {
+
+ClientBase::ClientBase(NodeId id, std::size_t dc, net::Network& network, sim::LocalClock clock)
+    : Node(id, dc, network, clock) {}
+
+ClientBase::ClientBase(NodeId id, std::size_t dc, Context& context, sim::LocalClock clock)
+    : Node(id, dc, context, clock) {}
+
+void ClientBase::start_load(sm::WorkloadGenerator& workload, double rps) {
+  if (rps <= 0.0) return;
+  const Duration interval{static_cast<std::int64_t>(1e9 / rps)};
+  load_timer_.start(context(), interval, interval,
+                    [this, &workload] { submit(workload.next(id())); });
+}
+
+void ClientBase::stop_load() { load_timer_.stop(); }
+
+void ClientBase::submit(sm::Command command) {
+  ++submitted_;
+  sent_at_.emplace(command.id, true_now());
+  if (send_hook_) send_hook_(command.id, true_now());
+  propose(command);
+}
+
+void ClientBase::handle_committed(const RequestId& id) {
+  if (id.client != this->id()) return;
+  if (!done_seqs_.insert(id.seq).second) return;  // duplicate notification
+  ++committed_;
+  auto it = sent_at_.find(id);
+  if (it == sent_at_.end()) return;
+  const TimePoint sent = it->second;
+  sent_at_.erase(it);
+  if (commit_hook_) commit_hook_(id, sent, true_now());
+}
+
+}  // namespace domino::rpc

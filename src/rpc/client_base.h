@@ -1,0 +1,62 @@
+// Shared client machinery for every protocol's client library.
+//
+// A protocol client derives from ClientBase and implements propose().
+// ClientBase provides the open-loop load generator (the paper's clients
+// send a fixed 200 requests/second, Section 7.1), send-time bookkeeping,
+// commit dedup, and the commit-latency hook the evaluation harness taps.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "rpc/node.h"
+#include "statemachine/workload.h"
+
+namespace domino::rpc {
+
+class ClientBase : public Node {
+ public:
+  /// Invoked exactly once per request when the client learns it committed.
+  using CommitHook =
+      std::function<void(const RequestId&, TimePoint sent_at, TimePoint committed_at)>;
+  /// Invoked when a request is submitted (before the proposal is sent).
+  using SendHook = std::function<void(const RequestId&, TimePoint sent_at)>;
+
+  ClientBase(NodeId id, std::size_t dc, net::Network& network, sim::LocalClock clock);
+  ClientBase(NodeId id, std::size_t dc, Context& context, sim::LocalClock clock);
+
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+  void set_send_hook(SendHook hook) { send_hook_ = std::move(hook); }
+
+  /// Start submitting `rps` requests per second drawn from `workload`.
+  /// The generator must outlive the client.
+  void start_load(sm::WorkloadGenerator& workload, double rps);
+  void stop_load();
+
+  /// Submit one command now (records its send time, then calls propose()).
+  void submit(sm::Command command);
+
+  [[nodiscard]] std::uint64_t submitted_count() const { return submitted_; }
+  [[nodiscard]] std::uint64_t committed_count() const { return committed_; }
+  [[nodiscard]] std::uint64_t inflight_count() const { return sent_at_.size(); }
+
+ protected:
+  /// Protocol-specific proposal path.
+  virtual void propose(const sm::Command& command) = 0;
+
+  /// Protocol clients call this when they learn a request committed.
+  /// Duplicate notifications are ignored.
+  void handle_committed(const RequestId& id);
+
+ private:
+  CommitHook commit_hook_;
+  SendHook send_hook_;
+  RepeatingTimer load_timer_;
+  std::unordered_map<RequestId, TimePoint> sent_at_;  // true send time
+  std::unordered_set<std::uint64_t> done_seqs_;       // committed request seqs
+  std::uint64_t submitted_ = 0;
+  std::uint64_t committed_ = 0;
+};
+
+}  // namespace domino::rpc

@@ -1,0 +1,75 @@
+// Transport abstraction for protocol nodes.
+//
+// A Context supplies everything a protocol implementation needs from its
+// environment: message delivery, timers, and a monotonic "true time". Two
+// implementations exist:
+//   - rpc::SimContext over the deterministic WAN simulator (evaluation),
+//   - net::tcp::TcpContext over real sockets and real clocks (deployment).
+// Protocol code is identical over both.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "net/packet.h"
+
+namespace domino::rpc {
+
+class Context {
+ public:
+  using Receiver = std::function<void(const net::Packet&)>;
+
+  virtual ~Context() = default;
+
+  /// Deliver `payload` from `src` to `dst` (asynchronously).
+  virtual void send(NodeId src, NodeId dst, wire::Payload payload) = 0;
+
+  /// Run `fn` after `delay` of true time.
+  virtual void schedule(Duration delay, std::function<void()> fn) = 0;
+
+  /// Monotonic true time (virtual time in simulation, steady clock on real
+  /// transports). Nodes derive their local wall clocks from this.
+  [[nodiscard]] virtual TimePoint now() const = 0;
+
+  /// Bind `receiver` as the packet handler for node `id`. `dc` is the
+  /// datacenter placement; transports without a placement concept ignore it.
+  virtual void register_node(NodeId id, std::size_t dc, Receiver receiver) = 0;
+};
+
+/// A periodic timer driven by any Context. Cancellation is cooperative: a
+/// shared flag breaks the reschedule chain.
+class RepeatingTimer {
+ public:
+  RepeatingTimer() = default;
+
+  /// Start firing `tick` every `interval`, first after `initial`. Any
+  /// previous schedule is cancelled.
+  void start(Context& context, Duration initial, Duration interval,
+             std::function<void()> tick) {
+    stop();
+    alive_ = std::make_shared<bool>(true);
+    auto alive = alive_;
+    auto fire = std::make_shared<std::function<void()>>();
+    *fire = [&context, interval, tick = std::move(tick), alive, fire]() {
+      if (!*alive) return;
+      tick();
+      if (!*alive) return;
+      context.schedule(interval, *fire);
+    };
+    context.schedule(initial, *fire);
+  }
+
+  void stop() {
+    if (alive_) *alive_ = false;
+    alive_.reset();
+  }
+
+  [[nodiscard]] bool running() const { return alive_ && *alive_; }
+
+ private:
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace domino::rpc

@@ -1,0 +1,25 @@
+#include "rpc/node.h"
+
+#include <stdexcept>
+
+#include "rpc/sim_context.h"
+
+namespace domino::rpc {
+
+Node::Node(NodeId id, std::size_t dc, Context& context, sim::LocalClock clock)
+    : context_(context), id_(id), dc_(dc), clock_(clock) {}
+
+Node::Node(NodeId id, std::size_t dc, net::Network& network, sim::LocalClock clock)
+    : owned_context_(std::make_unique<SimContext>(network)),
+      context_(*owned_context_),
+      id_(id),
+      dc_(dc),
+      clock_(clock) {}
+
+void Node::attach() {
+  if (attached_) throw std::logic_error("Node::attach called twice");
+  attached_ = true;
+  context_.register_node(id_, dc_, [this](const net::Packet& pkt) { on_packet(pkt); });
+}
+
+}  // namespace domino::rpc

@@ -1,0 +1,81 @@
+// Process base class: the glue between a protocol implementation and its
+// transport.
+//
+// A Node owns an id, a datacenter placement, a (possibly skewed) local
+// clock, and a receive dispatch point, all over an abstract rpc::Context —
+// the deterministic simulator for evaluation or real TCP sockets for
+// deployment. Derived classes implement on_packet(), peeking the envelope
+// tag and decoding the message. Sending always serializes through the wire
+// codec.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "common/ids.h"
+#include "net/network.h"
+#include "rpc/context.h"
+#include "sim/clock.h"
+#include "wire/message.h"
+
+namespace domino::rpc {
+
+class Node {
+ public:
+  /// Run over an explicit transport context.
+  Node(NodeId id, std::size_t dc, Context& context, sim::LocalClock clock = sim::LocalClock{});
+
+  /// Convenience: run over the WAN simulator (owns a SimContext adapter).
+  Node(NodeId id, std::size_t dc, net::Network& network,
+       sim::LocalClock clock = sim::LocalClock{});
+
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Register this node's receiver with the transport. Must be called
+  /// exactly once, after construction (not from the constructor, so that
+  /// derived classes are fully built before packets can arrive).
+  void attach();
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] std::size_t dc() const { return dc_; }
+
+  /// True (monotonic) transport time.
+  [[nodiscard]] TimePoint true_now() const { return context_.now(); }
+
+  /// This node's local wall-clock reading (includes skew/drift).
+  [[nodiscard]] TimePoint local_now() const { return clock_.local(true_now()); }
+
+  [[nodiscard]] const sim::LocalClock& clock() const { return clock_; }
+
+  /// Serialize and send a protocol message.
+  template <typename M>
+  void send(NodeId dst, const M& msg) {
+    context_.send(id_, dst, wire::encode_message(msg));
+  }
+
+  /// Schedule `fn` to run after `delay` (true-time delay).
+  void after(Duration delay, std::function<void()> fn) {
+    context_.schedule(delay, std::move(fn));
+  }
+
+  [[nodiscard]] Context& context() { return context_; }
+  [[nodiscard]] const Context& context() const { return context_; }
+
+ protected:
+  /// Called (on the transport's thread / in virtual time) for every
+  /// delivered packet.
+  virtual void on_packet(const net::Packet& packet) = 0;
+
+ private:
+  std::unique_ptr<Context> owned_context_;  // set by the Network convenience ctor
+  Context& context_;
+  NodeId id_;
+  std::size_t dc_;
+  sim::LocalClock clock_;
+  bool attached_ = false;
+};
+
+}  // namespace domino::rpc

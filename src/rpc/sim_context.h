@@ -1,0 +1,33 @@
+// Context implementation over the deterministic WAN simulator.
+#pragma once
+
+#include "net/network.h"
+#include "rpc/context.h"
+
+namespace domino::rpc {
+
+class SimContext final : public Context {
+ public:
+  explicit SimContext(net::Network& network) : network_(network) {}
+
+  void send(NodeId src, NodeId dst, wire::Payload payload) override {
+    network_.send(src, dst, std::move(payload));
+  }
+
+  void schedule(Duration delay, std::function<void()> fn) override {
+    network_.simulator().schedule_after(delay, std::move(fn));
+  }
+
+  [[nodiscard]] TimePoint now() const override { return network_.simulator().now(); }
+
+  void register_node(NodeId id, std::size_t dc, Receiver receiver) override {
+    network_.register_node(id, dc, std::move(receiver));
+  }
+
+  [[nodiscard]] net::Network& network() { return network_; }
+
+ private:
+  net::Network& network_;
+};
+
+}  // namespace domino::rpc

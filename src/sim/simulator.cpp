@@ -1,0 +1,68 @@
+#include "sim/simulator.h"
+
+#include <memory>
+#include <utility>
+
+namespace domino::sim {
+
+void Simulator::schedule_at(TimePoint at, Action action) {
+  if (at < now_) at = now_;
+  queue_.push(Event{at, next_seq_++, std::move(action)});
+}
+
+void Simulator::schedule_after(Duration delay, Action action) {
+  if (delay < Duration::zero()) delay = Duration::zero();
+  schedule_at(now_ + delay, std::move(action));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB-free
+  // here because we pop immediately and Event's members are not const.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  ++executed_;
+  ev.action();
+  return true;
+}
+
+std::uint64_t Simulator::run_until(TimePoint deadline) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+void PeriodicTimer::start(Simulator& simulator, Duration initial, Duration interval,
+                          std::function<void()> tick) {
+  stop();
+  alive_ = std::make_shared<bool>(true);
+  // The recursive lambda holds weak state via the shared flag; if stop() is
+  // called the chain breaks at the next firing.
+  auto alive = alive_;
+  auto fire = std::make_shared<std::function<void()>>();
+  *fire = [&simulator, interval, tick = std::move(tick), alive, fire]() {
+    if (!*alive) return;
+    tick();
+    if (!*alive) return;
+    simulator.schedule_after(interval, *fire);
+  };
+  simulator.schedule_after(initial, *fire);
+}
+
+void PeriodicTimer::stop() {
+  if (alive_) *alive_ = false;
+  alive_.reset();
+}
+
+}  // namespace domino::sim

@@ -1,0 +1,86 @@
+// Deterministic discrete-event simulation engine.
+//
+// All protocol activity (message delivery, timers, client load generation)
+// is expressed as events on one global virtual-time queue. Events scheduled
+// for the same instant fire in scheduling order (a monotonic tie-break
+// counter), so a run is exactly reproducible from its RNG seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace domino::sim {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current virtual ("true") time. Nodes see skewed views of this via
+  /// LocalClock.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedule `action` to run at absolute virtual time `at`. Events in the
+  /// past are clamped to `now()` (they run next, before time advances).
+  void schedule_at(TimePoint at, Action action);
+
+  /// Schedule `action` to run `delay` from now. Negative delays clamp to 0.
+  void schedule_after(Duration delay, Action action);
+
+  /// Run until the event queue is empty or `deadline` is reached (events at
+  /// exactly `deadline` still run). Returns the number of events executed.
+  std::uint64_t run_until(TimePoint deadline);
+
+  /// Run until the queue drains completely.
+  std::uint64_t run();
+
+  /// Execute a single event if one exists; returns false when queue empty.
+  bool step();
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePoint now_ = TimePoint::epoch();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// A periodic timer helper: reschedules itself every `interval` until
+/// cancelled. Cancellation is cooperative (a shared flag), since the
+/// simulator has no event handles.
+class PeriodicTimer {
+ public:
+  PeriodicTimer() = default;
+
+  /// Starts firing `tick` every `interval`, first firing after `initial`.
+  /// Any previously started schedule is cancelled.
+  void start(Simulator& simulator, Duration initial, Duration interval,
+             std::function<void()> tick);
+
+  void stop();
+
+  [[nodiscard]] bool running() const { return alive_ && *alive_; }
+
+ private:
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace domino::sim

@@ -1,0 +1,38 @@
+// Client commands applied to the replicated state machine.
+//
+// The evaluation workload is the EPaxos key-value write workload the paper
+// mirrors (Section 7.1): 8-byte keys, 8-byte values, write-only.
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "common/ids.h"
+#include "wire/codec.h"
+
+namespace domino::sm {
+
+struct Command {
+  RequestId id;
+  std::string key;
+  std::string value;
+
+  auto operator<=>(const Command&) const = default;
+
+  [[nodiscard]] bool conflicts_with(const Command& other) const { return key == other.key; }
+
+  void encode(wire::ByteWriter& w) const {
+    w.request_id(id);
+    w.str(key);
+    w.str(value);
+  }
+  static Command decode(wire::ByteReader& r) {
+    Command c;
+    c.id = r.request_id();
+    c.key = r.str();
+    c.value = r.str();
+    return c;
+  }
+};
+
+}  // namespace domino::sm

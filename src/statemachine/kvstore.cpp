@@ -1,0 +1,24 @@
+#include "statemachine/kvstore.h"
+
+namespace domino::sm {
+
+std::optional<std::string> KvStore::apply(const Command& cmd) {
+  ++applied_;
+  auto it = data_.find(cmd.key);
+  std::optional<std::string> previous;
+  if (it != data_.end()) {
+    previous = it->second;
+    it->second = cmd.value;
+  } else {
+    data_.emplace(cmd.key, cmd.value);
+  }
+  return previous;
+}
+
+std::optional<std::string> KvStore::get(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace domino::sm

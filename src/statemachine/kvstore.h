@@ -1,0 +1,32 @@
+// In-memory key-value store: the replicated state machine.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "statemachine/command.h"
+
+namespace domino::sm {
+
+class KvStore {
+ public:
+  /// Apply a write; returns the previous value if any.
+  std::optional<std::string> apply(const Command& cmd);
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::uint64_t applied_count() const { return applied_; }
+
+  /// Full contents; used by consistency checks in tests.
+  [[nodiscard]] const std::unordered_map<std::string, std::string>& items() const {
+    return data_;
+  }
+
+ private:
+  std::unordered_map<std::string, std::string> data_;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace domino::sm

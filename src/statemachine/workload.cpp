@@ -1,0 +1,26 @@
+#include "statemachine/workload.h"
+
+namespace domino::sm {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config, std::uint64_t seed)
+    : config_(config), zipf_(config.num_keys, config.zipf_alpha), rng_(seed) {}
+
+std::string WorkloadGenerator::fixed_width(std::uint64_t v, std::size_t width) const {
+  std::string s = std::to_string(v);
+  if (s.size() < width) {
+    s.insert(s.begin(), width - s.size(), '0');
+  } else if (s.size() > width) {
+    s = s.substr(s.size() - width);
+  }
+  return s;
+}
+
+Command WorkloadGenerator::next(NodeId client) {
+  Command c;
+  c.id = RequestId{client, next_seq_++};
+  c.key = fixed_width(zipf_.sample(rng_), config_.key_bytes);
+  c.value = fixed_width(rng_.next_u64() % 100'000'000, config_.value_bytes);
+  return c;
+}
+
+}  // namespace domino::sm

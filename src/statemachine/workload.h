@@ -1,0 +1,40 @@
+// Workload generation, mirroring the paper's Section 7.1 settings: one
+// million key-value pairs, 8 B keys and values (16 B requests), write-only,
+// keys drawn from a Zipfian distribution (alpha 0.75 by default, 0.95 for
+// the high-contention runs).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "statemachine/command.h"
+
+namespace domino::sm {
+
+struct WorkloadConfig {
+  std::uint64_t num_keys = 1'000'000;
+  double zipf_alpha = 0.75;
+  std::size_t key_bytes = 8;
+  std::size_t value_bytes = 8;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadConfig config, std::uint64_t seed);
+
+  /// Next write command for the given client.
+  [[nodiscard]] Command next(NodeId client);
+
+  [[nodiscard]] const WorkloadConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] std::string fixed_width(std::uint64_t v, std::size_t width) const;
+
+  WorkloadConfig config_;
+  ZipfGenerator zipf_;
+  Rng rng_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace domino::sm

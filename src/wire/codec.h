@@ -1,0 +1,101 @@
+// Binary wire codec.
+//
+// Every protocol message in this repository is serialized to bytes before
+// crossing the simulated network and parsed on receipt, mirroring what a
+// gRPC/protobuf deployment would do. The codec is a compact hand-rolled
+// format: little-endian fixed integers, LEB128 varints, zig-zag signed
+// varints, and length-prefixed strings.
+//
+// Decoding is defensive: all reads are bounds-checked and malformed input
+// raises WireError rather than reading out of bounds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace domino::wire {
+
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+using Payload = std::vector<std::uint8_t>;
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+
+  /// LEB128 unsigned varint.
+  void varint(std::uint64_t v);
+
+  /// Zig-zag encoded signed varint.
+  void svarint(std::int64_t v);
+
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(std::string_view s);
+  void bytes(std::span<const std::uint8_t> data);
+
+  void node_id(NodeId id) { u32(id.value()); }
+  void request_id(const RequestId& id);
+  void ballot(const Ballot& b);
+  void time_point(TimePoint t) { svarint(t.nanos()); }
+  void duration(Duration d) { svarint(d.nanos()); }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] Payload take() { return std::move(buf_); }
+  [[nodiscard]] const Payload& buffer() const { return buf_; }
+
+ private:
+  Payload buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::uint64_t varint();
+  std::int64_t svarint();
+
+  /// Read a container length prefix, rejecting values that could not
+  /// possibly be backed by the remaining bytes (each element occupies at
+  /// least `min_element_bytes`). Guards decoders against allocation bombs.
+  std::uint64_t length_prefix(std::size_t min_element_bytes = 1);
+  bool boolean() { return u8() != 0; }
+  std::string str();
+  Payload bytes();
+
+  NodeId node_id() { return NodeId{u32()}; }
+  RequestId request_id();
+  Ballot ballot();
+  TimePoint time_point() { return TimePoint{svarint()}; }
+  Duration duration() { return Duration{svarint()}; }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+
+  /// Throws WireError unless all bytes have been consumed.
+  void expect_exhausted() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace domino::wire

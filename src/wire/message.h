@@ -1,0 +1,111 @@
+// Message envelope: a type tag followed by the message body.
+//
+// All protocols in the repository share one MessageType space so a node can
+// host several protocol roles (e.g. a Domino replica participates in DFP
+// and DM simultaneously) behind a single dispatch point.
+#pragma once
+
+#include <cstdint>
+
+#include "wire/codec.h"
+
+namespace domino::wire {
+
+enum class MessageType : std::uint16_t {
+  // Measurement plane (src/measure)
+  kProbe = 1,
+  kProbeReply = 2,
+
+  // Multi-Paxos (src/paxos)
+  kPaxosClientRequest = 10,
+  kPaxosAccept = 11,
+  kPaxosAcceptReply = 12,
+  kPaxosCommit = 13,
+  kPaxosClientReply = 14,
+  kPaxosExecuted = 15,
+
+  // Mencius (src/mencius)
+  kMenciusClientRequest = 20,
+  kMenciusAccept = 21,
+  kMenciusAcceptReply = 22,
+  kMenciusCommit = 23,
+  kMenciusSkip = 24,
+  kMenciusClientReply = 25,
+  kMenciusExecuted = 26,
+
+  // EPaxos (src/epaxos)
+  kEpaxosClientRequest = 30,
+  kEpaxosPreAccept = 31,
+  kEpaxosPreAcceptReply = 32,
+  kEpaxosAccept = 33,
+  kEpaxosAcceptReply = 34,
+  kEpaxosCommit = 35,
+  kEpaxosClientReply = 36,
+  kEpaxosExecuted = 37,
+
+  // Classic Fast Paxos (src/fastpaxos)
+  kFastPaxosClientRequest = 40,
+  kFastPaxosAcceptNotice = 41,
+  kFastPaxosRecoveryAccept = 42,
+  kFastPaxosRecoveryReply = 43,
+  kFastPaxosCommit = 44,
+  kFastPaxosClientReply = 45,
+  kFastPaxosExecuted = 46,
+
+  // Domino (src/core)
+  kDfpPropose = 50,
+  kDfpAcceptNotice = 51,
+  kDfpCommit = 52,
+  kDfpClientReply = 53,
+  kDfpRecoveryAccept = 54,
+  kDfpRecoveryReply = 55,
+  kDominoHeartbeat = 56,
+  kDmPropose = 57,
+  kDmAccept = 58,
+  kDmAcceptReply = 59,
+  kDmCommit = 60,
+  kDmClientReply = 61,
+  kDominoExecuted = 62,
+
+  // Measurement proxy (paper Section 5.6's probe-traffic reduction)
+  kProxyQuery = 65,
+  kProxyReport = 66,
+
+  // Domino failure handling (paper Section 5.8)
+  kDmRevoke = 70,
+  kDmRevokeReply = 71,
+  kDmRevokeResult = 72,
+  kDfpRangeRecover = 73,
+  kDfpRangeReply = 74,
+  kDfpRangeResolve = 75,
+};
+
+/// Serialize a message struct (anything with `kType` and `encode`) into an
+/// envelope payload.
+template <typename M>
+[[nodiscard]] Payload encode_message(const M& msg) {
+  ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(M::kType));
+  msg.encode(w);
+  return w.take();
+}
+
+/// Read the envelope type tag without consuming the body.
+[[nodiscard]] inline MessageType peek_type(std::span<const std::uint8_t> payload) {
+  ByteReader r{payload};
+  return static_cast<MessageType>(r.u16());
+}
+
+/// Parse a full message of known type M; throws WireError on a tag mismatch
+/// or malformed body.
+template <typename M>
+[[nodiscard]] M decode_message(std::span<const std::uint8_t> payload) {
+  ByteReader r{payload};
+  const auto tag = static_cast<MessageType>(r.u16());
+  if (tag != M::kType) throw WireError("decode_message: type tag mismatch");
+  M msg = M::decode(r);
+  r.expect_exhausted();
+  return msg;
+}
+
+}  // namespace domino::wire

@@ -1,0 +1,136 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace domino {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng r(0);
+  EXPECT_NE(r.next_u64(), 0u);  // splitmix avoids the stuck all-zero state
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformI64Bounds) {
+  Rng r(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = r.uniform_i64(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  // Degenerate single-point range.
+  EXPECT_EQ(r.uniform_i64(42, 42), 42);
+}
+
+TEST(Rng, UniformI64CoversRange) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = r.uniform_i64(0, 3);
+    if (v == 0) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(13);
+  const int n = 200'000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal();
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng r(17);
+  const int n = 100'000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += r.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(19);
+  const int n = 200'000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.exponential(5.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng r(23);
+  const int n = 100'001;
+  std::vector<double> vals(n);
+  for (auto& v : vals) v = r.lognormal(1.0, 0.5);
+  std::nth_element(vals.begin(), vals.begin() + n / 2, vals.end());
+  EXPECT_NEAR(vals[n / 2], std::exp(1.0), 0.08);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng r(29);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (r.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(31);
+  Rng b = a.fork();
+  // Fork must not replay the parent's stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformDurationWithinBounds) {
+  Rng r(37);
+  for (int i = 0; i < 1'000; ++i) {
+    const Duration d = r.uniform_duration(milliseconds(1), milliseconds(2));
+    EXPECT_GE(d, milliseconds(1));
+    EXPECT_LE(d, milliseconds(2));
+  }
+}
+
+}  // namespace
+}  // namespace domino

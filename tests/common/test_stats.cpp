@@ -1,0 +1,119 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace domino {
+namespace {
+
+TEST(StatAccumulator, BasicStats) {
+  StatAccumulator s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
+TEST(StatAccumulator, EmptyThrows) {
+  StatAccumulator s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+  EXPECT_THROW((void)s.percentile(50), std::logic_error);
+}
+
+TEST(StatAccumulator, AddDurationConvertsToMillis) {
+  StatAccumulator s;
+  s.add(milliseconds(25));
+  EXPECT_DOUBLE_EQ(s.percentile(50), 25.0);
+}
+
+TEST(StatAccumulator, CdfAt) {
+  StatAccumulator s;
+  for (int i = 1; i <= 10; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(100.0), 1.0);
+}
+
+TEST(StatAccumulator, MergeCombines) {
+  StatAccumulator a, b;
+  a.add(1.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(StatAccumulator, StddevOfConstantIsZero) {
+  StatAccumulator s;
+  s.add(5.0);
+  s.add(5.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(StatAccumulator, StddevSample) {
+  StatAccumulator s;
+  s.add(2.0);
+  s.add(4.0);
+  s.add(4.0);
+  s.add(4.0);
+  s.add(5.0);
+  s.add(5.0);
+  s.add(7.0);
+  s.add(9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);  // sample stddev
+}
+
+TEST(StatAccumulator, BoxSummaryOrdered) {
+  StatAccumulator s;
+  for (int i = 1; i <= 1000; ++i) s.add(static_cast<double>(i));
+  const auto b = s.box_summary();
+  EXPECT_LE(b.p5, b.p25);
+  EXPECT_LE(b.p25, b.p50);
+  EXPECT_LE(b.p50, b.p75);
+  EXPECT_LE(b.p75, b.p95);
+  EXPECT_DOUBLE_EQ(b.p50, 500.0);
+}
+
+TEST(StatAccumulator, RenderCdfHasRows) {
+  StatAccumulator s;
+  for (int i = 1; i <= 10; ++i) s.add(static_cast<double>(i));
+  const std::string cdf = s.render_cdf(5);
+  EXPECT_EQ(std::count(cdf.begin(), cdf.end(), '\n'), 5);
+}
+
+TEST(StatAccumulator, SortedValuesAscending) {
+  StatAccumulator s;
+  s.add(3.0);
+  s.add(1.0);
+  s.add(2.0);
+  const auto& v = s.sorted_values();
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(TimeSeries, BucketsByTime) {
+  TimeSeries ts(seconds(1));
+  ts.add(TimePoint::epoch() + milliseconds(100), 1.0);
+  ts.add(TimePoint::epoch() + milliseconds(900), 3.0);
+  ts.add(TimePoint::epoch() + milliseconds(1500), 7.0);
+  ASSERT_EQ(ts.bucket_count(), 2u);
+  EXPECT_DOUBLE_EQ(ts.bucket(0).mean(), 2.0);
+  EXPECT_DOUBLE_EQ(ts.bucket(1).mean(), 7.0);
+  EXPECT_EQ(ts.bucket_start(1), TimePoint::epoch() + seconds(1));
+}
+
+TEST(TimeSeries, IgnoresNegativeTimes) {
+  TimeSeries ts(seconds(1));
+  ts.add(TimePoint::epoch() - milliseconds(5), 1.0);
+  EXPECT_EQ(ts.bucket_count(), 0u);
+}
+
+}  // namespace
+}  // namespace domino

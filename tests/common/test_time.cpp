@@ -1,0 +1,80 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace domino {
+namespace {
+
+TEST(Duration, FactoriesProduceNanoseconds) {
+  EXPECT_EQ(nanoseconds(7).nanos(), 7);
+  EXPECT_EQ(microseconds(3).nanos(), 3'000);
+  EXPECT_EQ(milliseconds(5).nanos(), 5'000'000);
+  EXPECT_EQ(seconds(2).nanos(), 2'000'000'000);
+  EXPECT_EQ(milliseconds_d(1.5).nanos(), 1'500'000);
+  EXPECT_EQ(seconds_d(0.25).nanos(), 250'000'000);
+}
+
+TEST(Duration, ConversionsRoundTrip) {
+  const Duration d = milliseconds(42);
+  EXPECT_DOUBLE_EQ(d.millis(), 42.0);
+  EXPECT_DOUBLE_EQ(d.micros(), 42'000.0);
+  EXPECT_DOUBLE_EQ(d.seconds(), 0.042);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ(milliseconds(3) + milliseconds(4), milliseconds(7));
+  EXPECT_EQ(milliseconds(10) - milliseconds(4), milliseconds(6));
+  EXPECT_EQ(-milliseconds(5), milliseconds(-5));
+  EXPECT_EQ(milliseconds(3) * 4, milliseconds(12));
+  EXPECT_EQ(milliseconds(12) / 4, milliseconds(3));
+  EXPECT_DOUBLE_EQ(milliseconds(10) / milliseconds(4), 2.5);
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d = milliseconds(1);
+  d += milliseconds(2);
+  EXPECT_EQ(d, milliseconds(3));
+  d -= milliseconds(1);
+  EXPECT_EQ(d, milliseconds(2));
+}
+
+TEST(Duration, Ordering) {
+  EXPECT_LT(milliseconds(1), milliseconds(2));
+  EXPECT_GT(seconds(1), milliseconds(999));
+  EXPECT_LE(Duration::zero(), Duration::zero());
+  EXPECT_LT(Duration::zero(), Duration::max());
+}
+
+TEST(Duration, ScaleByFactor) {
+  EXPECT_EQ(scale(milliseconds(10), 0.5), milliseconds(5));
+  EXPECT_EQ(scale(milliseconds(10), 2.0), milliseconds(20));
+  EXPECT_EQ(scale(milliseconds(10), 0.0), Duration::zero());
+}
+
+TEST(TimePoint, ArithmeticWithDurations) {
+  const TimePoint t = TimePoint::epoch() + milliseconds(100);
+  EXPECT_EQ(t.nanos(), 100'000'000);
+  EXPECT_EQ((t + milliseconds(50)).nanos(), 150'000'000);
+  EXPECT_EQ((t - milliseconds(50)).nanos(), 50'000'000);
+  EXPECT_EQ(t - TimePoint::epoch(), milliseconds(100));
+}
+
+TEST(TimePoint, Ordering) {
+  EXPECT_LT(TimePoint::epoch(), TimePoint::epoch() + nanoseconds(1));
+  EXPECT_LT(TimePoint::epoch(), TimePoint::max());
+}
+
+TEST(TimePoint, CompoundAdvance) {
+  TimePoint t = TimePoint::epoch();
+  t += seconds(1);
+  EXPECT_EQ(t.seconds(), 1.0);
+}
+
+TEST(TimeToString, HumanReadable) {
+  EXPECT_EQ(milliseconds(5).to_string(), "5ms");
+  EXPECT_EQ(microseconds(1500).to_string(), "1.500ms");
+  EXPECT_NE(TimePoint::epoch().to_string().find("t="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace domino

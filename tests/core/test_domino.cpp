@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "core/client.h"
+#include "core/replica.h"
+#include "support/fixtures.h"
+
+namespace domino::core {
+namespace {
+
+using test::make_command;
+using test::replica_ids;
+
+/// Replicas in A, B, C; a client DC "E" equidistant (30 ms) from all three
+/// (DFP advantageous there: 30 < min(30+20) = 50), plus "D" close to C
+/// (DM advantageous there).
+net::Topology five_dc() {
+  return net::Topology{{"A", "B", "C", "D", "E"},
+                       {{0, 20, 40, 60, 30},
+                        {20, 0, 30, 50, 30},
+                        {40, 30, 0, 10, 30},
+                        {60, 50, 10, 0, 40},
+                        {30, 30, 30, 40, 0}}};
+}
+
+struct DominoCluster : ::testing::Test {
+  sim::Simulator simulator;
+  net::Network network{simulator, five_dc(), 1};
+  std::vector<NodeId> rids = replica_ids(3);
+  std::vector<std::unique_ptr<Replica>> replicas;
+
+  void SetUp() override {
+    for (std::size_t i = 0; i < 3; ++i) {
+      replicas.push_back(
+          std::make_unique<Replica>(rids[i], i, network, rids, rids[0]));
+      replicas.back()->attach();
+      replicas.back()->start();
+    }
+  }
+
+  std::unique_ptr<Client> make_client(NodeId id, std::size_t dc,
+                                      ClientConfig config = {}) {
+    auto c = std::make_unique<Client>(id, dc, network, rids, config);
+    c->attach();
+    c->start();
+    return c;
+  }
+
+  /// Let probers warm up so estimates exist.
+  void warmup(Duration d = seconds(1)) { simulator.run_until(TimePoint::epoch() + d); }
+};
+
+TEST_F(DominoCluster, ReplicationLatencyEstimates) {
+  warmup();
+  // L_A = majority RTT from A = RTT(A,B) = 20 ms; L_C = RTT(C,D)? replicas
+  // are A, B, C: L_C = min peer RTT = 30 ms (C-B).
+  EXPECT_NEAR(replicas[0]->replication_latency_estimate().millis(), 20.0, 1.0);
+  EXPECT_NEAR(replicas[2]->replication_latency_estimate().millis(), 30.0, 1.0);
+}
+
+TEST_F(DominoCluster, ClientEstimatesBothSubsystems) {
+  auto client = make_client(NodeId{1000}, 4);  // E: 30 ms to every replica
+  warmup();
+  const auto est = client->estimates();
+  EXPECT_NEAR(est.dfp.millis(), 30.0, 1.5);
+  EXPECT_NEAR(est.dm.millis(), 50.0, 1.5);  // 30 + L=20 via A or B
+}
+
+TEST_F(DominoCluster, EquidistantClientChoosesDfpAndCommitsFast) {
+  ClientConfig cc;
+  cc.additional_delay = milliseconds(1);  // the paper's misprediction slack
+  auto client = make_client(NodeId{1000}, 4, cc);
+  warmup();
+  TimePoint sent, committed;
+  client->set_commit_hook([&](const RequestId&, TimePoint s, TimePoint c) {
+    sent = s;
+    committed = c;
+  });
+  client->submit(make_command(client->id(), 0));
+  simulator.run_until(TimePoint::epoch() + seconds(3));
+  EXPECT_EQ(client->committed_count(), 1u);
+  EXPECT_EQ(client->dfp_chosen(), 1u);
+  EXPECT_EQ(client->dfp_fast_learns(), 1u);
+  // One round trip: ~30 ms (plus jitter-free constant links).
+  EXPECT_NEAR((committed - sent).millis(), 30.0, 2.0);
+}
+
+TEST_F(DominoCluster, NearReplicaClientChoosesDm) {
+  auto client = make_client(NodeId{1000}, 3);  // D: 10 ms to C
+  warmup();
+  TimePoint sent, committed;
+  client->set_commit_hook([&](const RequestId&, TimePoint s, TimePoint c) {
+    sent = s;
+    committed = c;
+  });
+  client->submit(make_command(client->id(), 0));
+  simulator.run_until(TimePoint::epoch() + seconds(3));
+  EXPECT_EQ(client->dm_chosen(), 1u);
+  // DM via C: 10 + L_C (30) = 40 ms.
+  EXPECT_NEAR((committed - sent).millis(), 40.0, 2.0);
+}
+
+TEST_F(DominoCluster, DfpRequestsExecuteEverywhere) {
+  ClientConfig cc;
+  cc.additional_delay = milliseconds(1);
+  auto client = make_client(NodeId{1000}, 4, cc);
+  warmup();
+  std::vector<TimePoint> exec_times(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    replicas[i]->set_execute_hook(
+        [&exec_times, i](const RequestId&, TimePoint at) { exec_times[i] = at; });
+  }
+  client->submit(make_command(client->id(), 0, "kx", "vx"));
+  simulator.run_until(TimePoint::epoch() + seconds(3));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GT(exec_times[i], TimePoint::epoch()) << "replica " << i;
+    EXPECT_EQ(replicas[i]->store().get("kx"), "vx") << "replica " << i;
+  }
+}
+
+TEST_F(DominoCluster, DmOnlyModeCommitsViaDm) {
+  ClientConfig cc;
+  cc.mode = ClientConfig::Mode::kDmOnly;
+  auto client = make_client(NodeId{1000}, 4, cc);
+  warmup();
+  for (std::uint64_t s = 0; s < 5; ++s) client->submit(make_command(client->id(), s));
+  simulator.run_until(TimePoint::epoch() + seconds(3));
+  EXPECT_EQ(client->committed_count(), 5u);
+  EXPECT_EQ(client->dfp_chosen(), 0u);
+  const std::uint64_t dm_total =
+      replicas[0]->dm_commits() + replicas[1]->dm_commits() + replicas[2]->dm_commits();
+  EXPECT_EQ(dm_total, 5u);
+}
+
+TEST_F(DominoCluster, DfpOnlyModeUsesFastPath) {
+  ClientConfig cc;
+  cc.mode = ClientConfig::Mode::kDfpOnly;
+  cc.additional_delay = milliseconds(1);
+  auto client = make_client(NodeId{1000}, 3, cc);  // D would prefer DM
+  warmup();
+  for (std::uint64_t s = 0; s < 5; ++s) client->submit(make_command(client->id(), s));
+  simulator.run_until(TimePoint::epoch() + seconds(3));
+  EXPECT_EQ(client->committed_count(), 5u);
+  EXPECT_EQ(client->dfp_fast_learns(), 5u);
+  EXPECT_EQ(replicas[0]->dfp_fast_commits(), 5u);
+}
+
+TEST_F(DominoCluster, LateTimestampTriggersSlowPathButStillCommits) {
+  // A client library bug / huge misprediction is emulated by a negative
+  // additional delay: the timestamp lands in the past at every replica, so
+  // all replicas reject and the coordinator resolves no-op + re-routes the
+  // command through DM.
+  ClientConfig cc;
+  cc.mode = ClientConfig::Mode::kDfpOnly;
+  cc.additional_delay = milliseconds(-200);
+  auto client = make_client(NodeId{1000}, 4, cc);
+  warmup();
+  TimePoint sent, committed;
+  client->set_commit_hook([&](const RequestId&, TimePoint s, TimePoint c) {
+    sent = s;
+    committed = c;
+  });
+  client->submit(make_command(client->id(), 0, "slow", "val"));
+  simulator.run_until(TimePoint::epoch() + seconds(5));
+  EXPECT_EQ(client->committed_count(), 1u);
+  EXPECT_EQ(client->dfp_fast_learns(), 0u);
+  EXPECT_GT((committed - sent).millis(), 30.0);  // strictly slower than fast path
+  // The command still executed exactly once everywhere.
+  for (const auto& r : replicas) {
+    EXPECT_EQ(r->store().get("slow"), "val");
+    EXPECT_EQ(r->store().applied_count(), 1u);
+  }
+}
+
+TEST_F(DominoCluster, MixedDfpAndDmExecuteInSameOrderEverywhere) {
+  test::ExecTrace traces[3];
+  for (std::size_t i = 0; i < 3; ++i) replicas[i]->set_execute_hook(std::ref(traces[i]));
+  auto dfp_client = make_client(NodeId{1000}, 4);
+  auto dm_client = make_client(NodeId{1001}, 3);
+  warmup();
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    simulator.schedule_after(milliseconds(static_cast<std::int64_t>(s) * 5), [&, s] {
+      dfp_client->submit(make_command(dfp_client->id(), s, "h"));
+      dm_client->submit(make_command(dm_client->id(), s, "h"));
+    });
+  }
+  simulator.run_until(TimePoint::epoch() + seconds(5));
+  EXPECT_EQ(dfp_client->committed_count(), 20u);
+  EXPECT_EQ(dm_client->committed_count(), 20u);
+  ASSERT_EQ(traces[0].order.size(), 40u);
+  EXPECT_EQ(traces[0].order, traces[1].order);
+  EXPECT_EQ(traces[0].order, traces[2].order);
+  const auto& ref = replicas[0]->store().items();
+  for (const auto& r : replicas) EXPECT_EQ(r->store().items(), ref);
+}
+
+TEST_F(DominoCluster, ExecutionLatencyBoundedByHeartbeat) {
+  // A fast-committed DFP request executes once the committed frontier
+  // passes its timestamp: within a couple of heartbeat intervals after the
+  // timestamp, not hundreds of ms later.
+  ClientConfig cc;
+  cc.additional_delay = milliseconds(1);
+  auto client = make_client(NodeId{1000}, 4, cc);
+  warmup();
+  TimePoint exec_at;
+  replicas[0]->set_execute_hook([&](const RequestId&, TimePoint at) { exec_at = at; });
+  TimePoint sent;
+  client->set_send_hook([&](const RequestId&, TimePoint s) { sent = s; });
+  client->submit(make_command(client->id(), 0));
+  simulator.run_until(TimePoint::epoch() + seconds(3));
+  ASSERT_GT(exec_at, TimePoint::epoch());
+  // Send -> arrival (~15 ms) -> frontier passes (heartbeats + watermark
+  // exchange, ~2 x 10 ms + propagation ~20 ms).
+  EXPECT_LT((exec_at - sent).millis(), 100.0);
+}
+
+TEST_F(DominoCluster, ClockSkewDoesNotBreakFastPath) {
+  // Recreate replicas with +/- 3 ms clock offsets; OWD-based predictions
+  // absorb the skew (Section 5.4).
+  sim::Simulator sim2;
+  net::Network net2{sim2, five_dc(), 2};
+  std::vector<std::unique_ptr<Replica>> reps;
+  const Duration offsets[3] = {milliseconds(3), milliseconds(-3), milliseconds(2)};
+  for (std::size_t i = 0; i < 3; ++i) {
+    reps.push_back(std::make_unique<Replica>(rids[i], i, net2, rids, rids[0],
+                                             ReplicaConfig{},
+                                             sim::LocalClock{offsets[i], 0.0}));
+    reps.back()->attach();
+    reps.back()->start();
+  }
+  ClientConfig cc;
+  cc.mode = ClientConfig::Mode::kDfpOnly;
+  cc.additional_delay = milliseconds(1);
+  auto client = std::make_unique<Client>(NodeId{1000}, 4, net2, rids, cc,
+                                         sim::LocalClock{milliseconds(-2), 0.0});
+  client->attach();
+  client->start();
+  sim2.run_until(TimePoint::epoch() + seconds(1));
+  for (std::uint64_t s = 0; s < 10; ++s) client->submit(make_command(client->id(), s));
+  sim2.run_until(TimePoint::epoch() + seconds(4));
+  EXPECT_EQ(client->committed_count(), 10u);
+  EXPECT_EQ(client->dfp_fast_learns(), 10u);
+}
+
+TEST_F(DominoCluster, SustainedMixedLoadConverges) {
+  auto c0 = make_client(NodeId{1000}, 4);
+  auto c1 = make_client(NodeId{1001}, 3);
+  auto c2 = make_client(NodeId{1002}, 0);
+  warmup();
+  sm::WorkloadConfig wc;
+  wc.num_keys = 40;
+  sm::WorkloadGenerator g0(wc, 1), g1(wc, 2), g2(wc, 3);
+  c0->start_load(g0, 200.0);
+  c1->start_load(g1, 200.0);
+  c2->start_load(g2, 200.0);
+  simulator.run_until(TimePoint::epoch() + seconds(4));
+  c0->stop_load();
+  c1->stop_load();
+  c2->stop_load();
+  simulator.run_until(TimePoint::epoch() + seconds(7));
+  for (const auto* c : {c0.get(), c1.get(), c2.get()}) {
+    EXPECT_EQ(c->committed_count(), c->submitted_count());
+  }
+  const auto& ref = replicas[0]->store().items();
+  for (const auto& r : replicas) EXPECT_EQ(r->store().items(), ref);
+  // All three replicas executed every command exactly once.
+  EXPECT_EQ(replicas[0]->store().applied_count(), replicas[1]->store().applied_count());
+  EXPECT_EQ(replicas[0]->store().applied_count(), replicas[2]->store().applied_count());
+}
+
+}  // namespace
+}  // namespace domino::core

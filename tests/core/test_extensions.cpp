@@ -1,0 +1,180 @@
+// Tests for the paper's optional/extension features implemented on top of
+// the base protocol:
+//   - pre-sharded timestamps (Section 5.3.3),
+//   - the adaptive feedback controller (Section 5.4's future work),
+//   - proxy-based measurement for Domino clients (Section 5.6).
+#include <gtest/gtest.h>
+
+#include "core/client.h"
+#include "core/replica.h"
+#include "measure/proxy.h"
+#include "support/fixtures.h"
+
+namespace domino::core {
+namespace {
+
+using test::make_command;
+using test::replica_ids;
+
+net::Topology five_dc() {
+  return net::Topology{{"A", "B", "C", "D", "E"},
+                       {{0, 20, 40, 60, 30},
+                        {20, 0, 30, 50, 30},
+                        {40, 30, 0, 10, 30},
+                        {60, 50, 10, 0, 40},
+                        {30, 30, 30, 40, 0}}};
+}
+
+struct ExtensionCluster : ::testing::Test {
+  sim::Simulator simulator;
+  net::Network network{simulator, five_dc(), 1};
+  std::vector<NodeId> rids = replica_ids(3);
+  std::vector<std::unique_ptr<Replica>> replicas;
+
+  void SetUp() override {
+    for (std::size_t i = 0; i < 3; ++i) {
+      replicas.push_back(
+          std::make_unique<Replica>(rids[i], i, network, rids, rids[0]));
+      replicas.back()->attach();
+      replicas.back()->start();
+    }
+  }
+
+  std::unique_ptr<Client> make_client(NodeId id, std::size_t dc, ClientConfig cc) {
+    auto c = std::make_unique<Client>(id, dc, network, rids, cc);
+    c->attach();
+    c->start();
+    return c;
+  }
+};
+
+TEST_F(ExtensionCluster, PreshardedTimestampsCarryClientId) {
+  ClientConfig cc;
+  cc.mode = ClientConfig::Mode::kDfpOnly;
+  cc.additional_delay = milliseconds(1);
+  cc.timestamp_shard_space = 1000;
+  auto c = make_client(NodeId{1007}, 4, cc);
+  simulator.run_until(TimePoint::epoch() + seconds(1));
+  for (std::uint64_t s = 0; s < 5; ++s) c->submit(make_command(c->id(), s));
+  simulator.run_until(TimePoint::epoch() + seconds(3));
+  EXPECT_EQ(c->committed_count(), 5u);
+  EXPECT_EQ(c->dfp_fast_learns(), 5u);
+  // The committed positions' timestamps end in 1007 % 1000 = 7. Verify via
+  // the replica log: scan the DFP lane entries... the log has been
+  // executed+compacted, so instead check there were no collisions and all
+  // went fast (a collision would force a slow path).
+  EXPECT_EQ(replicas[0]->dfp_fast_commits(), 5u);
+}
+
+TEST_F(ExtensionCluster, PreshardedClientsNeverCollideAtSameInstant) {
+  // Two clients in the same DC submit at the same instant each tick; with
+  // identical OWD estimates their unsharded timestamps would collide, and
+  // one of each pair would lose its position. Sharded, all commit fast.
+  ClientConfig cc;
+  cc.mode = ClientConfig::Mode::kDfpOnly;
+  cc.additional_delay = milliseconds(1);
+  cc.timestamp_shard_space = 1000;
+  auto a = make_client(NodeId{2001}, 4, cc);
+  auto b = make_client(NodeId{2002}, 4, cc);
+  simulator.run_until(TimePoint::epoch() + seconds(1));
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    simulator.schedule_after(milliseconds(static_cast<std::int64_t>(s) * 20), [&, s] {
+      a->submit(make_command(a->id(), s));
+      b->submit(make_command(b->id(), s));
+    });
+  }
+  simulator.run_until(TimePoint::epoch() + seconds(4));
+  EXPECT_EQ(a->committed_count(), 10u);
+  EXPECT_EQ(b->committed_count(), 10u);
+  EXPECT_EQ(a->dfp_fast_learns(), 10u);
+  EXPECT_EQ(b->dfp_fast_learns(), 10u);
+  // No no-op resolutions = no collisions anywhere.
+  EXPECT_EQ(replicas[0]->dfp_noop_resolutions(), 0u);
+}
+
+TEST_F(ExtensionCluster, AdaptiveControllerGrowsSlackUnderMispredictions) {
+  // Force systematic under-prediction with a negative additional delay; the
+  // controller must claw the slack back until the fast path succeeds.
+  ClientConfig cc;
+  cc.mode = ClientConfig::Mode::kDfpOnly;
+  cc.additional_delay = milliseconds(-3);  // predictions land 3 ms late
+  cc.adaptive = true;
+  cc.adaptive_step = milliseconds(1);
+  auto c = make_client(NodeId{1000}, 4, cc);
+  simulator.run_until(TimePoint::epoch() + seconds(1));
+  sm::WorkloadConfig wc;
+  sm::WorkloadGenerator gen(wc, 1);
+  c->start_load(gen, 50.0);
+  simulator.run_until(TimePoint::epoch() + seconds(8));
+  c->stop_load();
+  simulator.run_until(TimePoint::epoch() + seconds(12));
+  EXPECT_EQ(c->committed_count(), c->submitted_count());
+  // The controller accumulated enough slack to overcome the -3 ms bias...
+  EXPECT_GE(c->adaptive_extra_delay(), milliseconds(3));
+  // ...and the recent window shows a healthy fast path again.
+  EXPECT_GT(c->recent_fast_rate(), 0.8);
+}
+
+TEST_F(ExtensionCluster, AdaptiveControllerIdleWhenHealthy) {
+  ClientConfig cc;
+  cc.mode = ClientConfig::Mode::kDfpOnly;
+  cc.additional_delay = milliseconds(2);
+  cc.adaptive = true;
+  auto c = make_client(NodeId{1000}, 4, cc);
+  simulator.run_until(TimePoint::epoch() + seconds(1));
+  sm::WorkloadConfig wc;
+  sm::WorkloadGenerator gen(wc, 1);
+  c->start_load(gen, 50.0);
+  simulator.run_until(TimePoint::epoch() + seconds(5));
+  c->stop_load();
+  simulator.run_until(TimePoint::epoch() + seconds(8));
+  EXPECT_EQ(c->adaptive_extra_delay(), Duration::zero());
+  EXPECT_GT(c->recent_fast_rate(), 0.95);
+}
+
+TEST_F(ExtensionCluster, ClientWorksThroughProxy) {
+  // A proxy in DC E measures the replicas; the client only talks to it.
+  auto proxy = std::make_unique<measure::Proxy>(NodeId{500}, 4, network, rids);
+  proxy->attach();
+  proxy->start();
+
+  ClientConfig cc;
+  cc.proxy = NodeId{500};
+  cc.additional_delay = milliseconds(1);
+  auto c = make_client(NodeId{1000}, 4, cc);
+  simulator.run_until(TimePoint::epoch() + seconds(1));
+
+  const auto est = c->estimates();
+  EXPECT_NEAR(est.dfp.millis(), 30.0, 2.0);  // E is 30 ms from every replica
+  EXPECT_NEAR(est.dm.millis(), 50.0, 2.0);
+
+  for (std::uint64_t s = 0; s < 5; ++s) c->submit(make_command(c->id(), s));
+  simulator.run_until(TimePoint::epoch() + seconds(4));
+  EXPECT_EQ(c->committed_count(), 5u);
+  EXPECT_EQ(c->dfp_chosen(), 5u);  // DFP wins from E, via proxy data
+  EXPECT_EQ(c->dfp_fast_learns(), 5u);
+  // The client sent zero probes of its own.
+  EXPECT_EQ(c->prober().probes_sent(), 0u);
+}
+
+TEST_F(ExtensionCluster, ProxyClientFallsBackWhenProxyDies) {
+  auto proxy = std::make_unique<measure::Proxy>(NodeId{500}, 4, network, rids);
+  proxy->attach();
+  proxy->start();
+  ClientConfig cc;
+  cc.proxy = NodeId{500};
+  auto c = make_client(NodeId{1000}, 4, cc);
+  simulator.run_until(TimePoint::epoch() + seconds(1));
+  network.crash(NodeId{500});
+  simulator.run_until(TimePoint::epoch() + seconds(3));
+  // Stale feed -> estimates report unknown; proposals fall back to DM via
+  // the first replica rather than stalling.
+  const auto est = c->estimates();
+  EXPECT_EQ(est.dfp, Duration::max());
+  c->submit(make_command(c->id(), 0));
+  simulator.run_until(TimePoint::epoch() + seconds(6));
+  EXPECT_EQ(c->committed_count(), 1u);
+}
+
+}  // namespace
+}  // namespace domino::core

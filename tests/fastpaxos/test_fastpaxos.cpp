@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "fastpaxos/client.h"
+#include "fastpaxos/replica.h"
+#include "support/fixtures.h"
+
+namespace domino::fastpaxos {
+namespace {
+
+using test::four_dc;
+using test::make_command;
+using test::replica_ids;
+
+struct FastPaxosCluster : ::testing::Test {
+  sim::Simulator simulator;
+  net::Network network{simulator, four_dc(), 1};
+  std::vector<NodeId> rids = replica_ids(3);
+  std::vector<std::unique_ptr<Replica>> replicas;
+
+  void SetUp() override {
+    for (std::size_t i = 0; i < 3; ++i) {
+      replicas.push_back(
+          std::make_unique<Replica>(rids[i], i, network, rids, rids[0]));
+      replicas.back()->attach();
+    }
+  }
+
+  std::unique_ptr<Client> make_client(NodeId id, std::size_t dc) {
+    auto c = std::make_unique<Client>(id, dc, network, rids);
+    c->attach();
+    return c;
+  }
+};
+
+TEST_F(FastPaxosCluster, SingleClientUsesFastPath) {
+  auto client = make_client(NodeId{1000}, 3);
+  for (std::uint64_t s = 0; s < 10; ++s) client->submit(make_command(client->id(), s));
+  simulator.run_until(TimePoint::epoch() + seconds(2));
+  EXPECT_EQ(client->committed_count(), 10u);
+  EXPECT_EQ(client->fast_learns(), 10u);
+  EXPECT_EQ(replicas[0]->fast_commits(), 10u);
+  EXPECT_EQ(replicas[0]->slow_commits(), 0u);
+}
+
+TEST_F(FastPaxosCluster, FastPathLatencyIsSupermajorityRoundTrip) {
+  auto client = make_client(NodeId{1000}, 3);
+  TimePoint committed;
+  client->set_commit_hook([&](const RequestId&, TimePoint, TimePoint at) { committed = at; });
+  client->submit(make_command(client->id(), 0));
+  simulator.run_until(TimePoint::epoch() + seconds(1));
+  // From D, RTTs to A/B/C are 60/50/10; q=3 -> furthest = 60 ms.
+  EXPECT_NEAR((committed - TimePoint::epoch()).millis(), 60.0, 0.5);
+}
+
+TEST_F(FastPaxosCluster, ConcurrentClientsCollideAndRecover) {
+  auto c0 = make_client(NodeId{1000}, 0);
+  auto c3 = make_client(NodeId{1001}, 3);
+  // Interleave so arrival orders differ at the acceptors.
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    simulator.schedule_after(milliseconds(static_cast<std::int64_t>(s) * 3),
+                             [&c0, s] { c0->submit(make_command(c0->id(), s)); });
+    simulator.schedule_after(milliseconds(static_cast<std::int64_t>(s) * 3 + 1),
+                             [&c3, s] { c3->submit(make_command(c3->id(), s)); });
+  }
+  simulator.run_until(TimePoint::epoch() + seconds(10));
+  EXPECT_EQ(c0->committed_count(), 20u);
+  EXPECT_EQ(c3->committed_count(), 20u);
+  // Different arrival orders at different acceptors force the slow path at
+  // least occasionally.
+  EXPECT_GT(replicas[0]->slow_commits(), 0u);
+}
+
+TEST_F(FastPaxosCluster, StateConvergesUnderCollisions) {
+  auto c0 = make_client(NodeId{1000}, 0);
+  auto c3 = make_client(NodeId{1001}, 3);
+  for (std::uint64_t s = 0; s < 30; ++s) {
+    simulator.schedule_after(milliseconds(static_cast<std::int64_t>(s)),
+                             [&c0, s] { c0->submit(make_command(c0->id(), s, "x")); });
+    simulator.schedule_after(milliseconds(static_cast<std::int64_t>(s)),
+                             [&c3, s] { c3->submit(make_command(c3->id(), s, "x")); });
+  }
+  simulator.run_until(TimePoint::epoch() + seconds(20));
+  EXPECT_EQ(c0->committed_count(), 30u);
+  EXPECT_EQ(c3->committed_count(), 30u);
+  const auto& ref = replicas[0]->store().items();
+  std::uint64_t executed = replicas[0]->store().applied_count();
+  EXPECT_EQ(executed, 60u);
+  for (const auto& r : replicas) EXPECT_EQ(r->store().items(), ref);
+}
+
+TEST_F(FastPaxosCluster, ExecutionOrderIdenticalAcrossReplicas) {
+  test::ExecTrace traces[3];
+  for (std::size_t i = 0; i < 3; ++i) replicas[i]->set_execute_hook(std::ref(traces[i]));
+  auto c0 = make_client(NodeId{1000}, 0);
+  auto c3 = make_client(NodeId{1001}, 3);
+  for (std::uint64_t s = 0; s < 15; ++s) {
+    simulator.schedule_after(milliseconds(static_cast<std::int64_t>(s) * 2),
+                             [&c0, s] { c0->submit(make_command(c0->id(), s)); });
+    simulator.schedule_after(milliseconds(static_cast<std::int64_t>(s) * 2),
+                             [&c3, s] { c3->submit(make_command(c3->id(), s)); });
+  }
+  simulator.run_until(TimePoint::epoch() + seconds(20));
+  ASSERT_EQ(traces[0].order.size(), 30u);
+  EXPECT_EQ(traces[0].order, traces[1].order);
+  EXPECT_EQ(traces[0].order, traces[2].order);
+}
+
+}  // namespace
+}  // namespace domino::fastpaxos

@@ -1,0 +1,65 @@
+#include "harness/collector.h"
+
+#include <gtest/gtest.h>
+
+namespace domino::harness {
+namespace {
+
+RequestId rid(std::uint64_t seq) { return RequestId{NodeId{1000}, seq}; }
+TimePoint at_ms(std::int64_t ms) { return TimePoint::epoch() + milliseconds(ms); }
+
+TEST(LatencyCollector, RecordsCommitLatencyInsideWindow) {
+  LatencyCollector c(at_ms(1000), at_ms(2000), 2);
+  c.on_send(0, rid(0), at_ms(1500));
+  c.on_commit(0, rid(0), at_ms(1500), at_ms(1560));
+  EXPECT_EQ(c.commit_ms().count(), 1u);
+  EXPECT_DOUBLE_EQ(c.commit_ms().percentile(50), 60.0);
+  EXPECT_EQ(c.commit_ms_of(0).count(), 1u);
+  EXPECT_EQ(c.commit_ms_of(1).count(), 0u);
+}
+
+TEST(LatencyCollector, IgnoresRequestsOutsideWindow) {
+  LatencyCollector c(at_ms(1000), at_ms(2000), 1);
+  c.on_send(0, rid(0), at_ms(500));   // warmup
+  c.on_send(0, rid(1), at_ms(2500));  // cooldown
+  c.on_commit(0, rid(0), at_ms(500), at_ms(560));
+  c.on_commit(0, rid(1), at_ms(2500), at_ms(2560));
+  EXPECT_EQ(c.commit_ms().count(), 0u);
+  EXPECT_EQ(c.tracked_count(), 0u);
+}
+
+TEST(LatencyCollector, WindowBoundariesInclusive) {
+  LatencyCollector c(at_ms(1000), at_ms(2000), 1);
+  c.on_send(0, rid(0), at_ms(1000));
+  c.on_send(0, rid(1), at_ms(2000));
+  EXPECT_EQ(c.tracked_count(), 2u);
+}
+
+TEST(LatencyCollector, ExecSamplesPerReplica) {
+  LatencyCollector c(at_ms(0), at_ms(1000), 1);
+  c.on_send(0, rid(0), at_ms(100));
+  // Three replicas execute the same command at different times.
+  c.on_execute(rid(0), at_ms(150));
+  c.on_execute(rid(0), at_ms(180));
+  c.on_execute(rid(0), at_ms(220));
+  EXPECT_EQ(c.exec_ms().count(), 3u);
+  EXPECT_DOUBLE_EQ(c.exec_ms().percentile(0), 50.0);
+  EXPECT_DOUBLE_EQ(c.exec_ms().percentile(100), 120.0);
+}
+
+TEST(LatencyCollector, ExecOfUntrackedIgnored) {
+  LatencyCollector c(at_ms(0), at_ms(1000), 1);
+  c.on_execute(rid(9), at_ms(100));
+  EXPECT_EQ(c.exec_ms().count(), 0u);
+}
+
+TEST(LatencyCollector, CommittedCountOnlyWindowed) {
+  LatencyCollector c(at_ms(1000), at_ms(2000), 1);
+  c.on_send(0, rid(0), at_ms(1100));
+  c.on_commit(0, rid(0), at_ms(1100), at_ms(1200));
+  c.on_commit(0, rid(1), at_ms(900), at_ms(950));  // sent pre-window
+  EXPECT_EQ(c.committed_count(), 1u);
+}
+
+}  // namespace
+}  // namespace domino::harness

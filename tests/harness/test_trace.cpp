@@ -1,0 +1,127 @@
+#include "harness/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace domino::harness {
+namespace {
+
+LinkTraceConfig quiet_link() {
+  LinkTraceConfig c;
+  c.rtt = milliseconds(67);
+  c.spike_prob = 0.0;
+  c.duration = seconds(30);
+  return c;
+}
+
+TEST(TraceGenerator, ProducesExpectedSampleCount) {
+  LinkTraceConfig c = quiet_link();
+  c.probe_interval = milliseconds(10);
+  c.duration = seconds(1);
+  EXPECT_EQ(generate_trace(c).size(), 100u);
+}
+
+TEST(TraceGenerator, RttNearNominal) {
+  const auto trace = generate_trace(quiet_link());
+  for (const auto& s : trace) {
+    EXPECT_GE(s.rtt, milliseconds(67));
+    EXPECT_LT(s.rtt, milliseconds(80));  // jitter is small vs the floor
+  }
+}
+
+TEST(TraceGenerator, SymmetricPathHalfRttIsGoodOwd) {
+  const auto trace = generate_trace(quiet_link());
+  for (const auto& s : trace) {
+    // forward share 0.5, no skew: measured OWD ~ rtt/2.
+    EXPECT_NEAR(s.owd_measured.millis(), s.rtt.millis() / 2, 3.0);
+  }
+}
+
+TEST(TraceGenerator, AsymmetryShiftsOwd) {
+  LinkTraceConfig c = quiet_link();
+  c.forward_share = 0.7;
+  const auto trace = generate_trace(c);
+  double avg = 0;
+  for (const auto& s : trace) avg += s.owd_measured.millis();
+  avg /= static_cast<double>(trace.size());
+  EXPECT_NEAR(avg, 67.0 * 0.7, 2.0);
+}
+
+TEST(TraceGenerator, ClockOffsetFoldsIntoMeasuredOwd) {
+  LinkTraceConfig c = quiet_link();
+  c.remote_clock_offset = milliseconds(500);
+  const auto trace = generate_trace(c);
+  for (const auto& s : trace) {
+    EXPECT_GT(s.owd_measured, milliseconds(500));
+  }
+}
+
+TEST(TraceGenerator, DeterministicPerSeed) {
+  const auto a = generate_trace(quiet_link());
+  const auto b = generate_trace(quiet_link());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[17].rtt, b[17].rtt);
+}
+
+TEST(Prediction, HighPercentilePredictsWell) {
+  // Matches Figure 3's top-right region: p95 with a 1 s window on a stable
+  // link predicts correctly ~95% of the time.
+  const auto trace = generate_trace(quiet_link());
+  const auto outcome =
+      evaluate_predictions(trace, OwdEstimator::kReplicaTimestamp, seconds(1), 95.0);
+  EXPECT_GT(outcome.correct_rate, 0.88);
+  EXPECT_GT(outcome.evaluated, 1000u);
+}
+
+TEST(Prediction, LowPercentilePredictsPoorly) {
+  // Figure 3's left side: low percentiles under-predict most arrivals.
+  const auto trace = generate_trace(quiet_link());
+  const auto p5 =
+      evaluate_predictions(trace, OwdEstimator::kReplicaTimestamp, seconds(1), 5.0);
+  const auto p95 =
+      evaluate_predictions(trace, OwdEstimator::kReplicaTimestamp, seconds(1), 95.0);
+  EXPECT_LT(p5.correct_rate + 0.3, p95.correct_rate);
+}
+
+TEST(Prediction, HalfRttFailsUnderAsymmetry) {
+  // The Table 2 vs Table 3 effect: with disjoint forward/reverse paths the
+  // half-RTT estimator mispredicts by roughly the asymmetry, while the
+  // replica-timestamp estimator stays accurate.
+  LinkTraceConfig c = quiet_link();
+  c.forward_share = 0.75;  // forward path carries 75% of the RTT
+  const auto trace = generate_trace(c);
+  const auto half =
+      evaluate_predictions(trace, OwdEstimator::kHalfRtt, seconds(1), 95.0);
+  const auto owd =
+      evaluate_predictions(trace, OwdEstimator::kReplicaTimestamp, seconds(1), 95.0);
+  EXPECT_LT(half.correct_rate, 0.2);
+  EXPECT_GT(owd.correct_rate, 0.88);
+  EXPECT_GT(half.p99_misprediction_ms, 10.0);  // ~67 * 0.25 ms systematic error
+  EXPECT_LT(owd.p99_misprediction_ms, 8.0);
+}
+
+TEST(Prediction, HalfRttFailsUnderClockSkew) {
+  LinkTraceConfig c = quiet_link();
+  c.remote_clock_offset = milliseconds(30);
+  const auto trace = generate_trace(c);
+  const auto half =
+      evaluate_predictions(trace, OwdEstimator::kHalfRtt, seconds(1), 95.0);
+  const auto owd =
+      evaluate_predictions(trace, OwdEstimator::kReplicaTimestamp, seconds(1), 95.0);
+  // Arrivals (in replica clock) are ~30 ms later than half-RTT predicts.
+  EXPECT_LT(half.correct_rate, 0.1);
+  EXPECT_GT(owd.correct_rate, 0.88);
+}
+
+TEST(Prediction, SpikesCauseBoundedMispredictions) {
+  LinkTraceConfig c = quiet_link();
+  c.spike_prob = 0.01;
+  c.spike_mean = milliseconds(10);
+  const auto trace = generate_trace(c);
+  const auto outcome =
+      evaluate_predictions(trace, OwdEstimator::kReplicaTimestamp, seconds(1), 95.0);
+  EXPECT_GT(outcome.correct_rate, 0.85);
+  EXPECT_GT(outcome.p99_misprediction_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace domino::harness

@@ -1,0 +1,181 @@
+#include "log/global_log.h"
+
+#include <gtest/gtest.h>
+
+namespace domino::log {
+namespace {
+
+// A 3-replica deployment: DM lanes 0..2, DFP lane 3.
+constexpr std::uint32_t kDfp = 3;
+
+sm::Command cmd(std::uint64_t seq) {
+  sm::Command c;
+  c.id = RequestId{NodeId{1}, seq};
+  c.key = "k" + std::to_string(seq);
+  c.value = "v";
+  return c;
+}
+
+GlobalLog make_log() { return GlobalLog{4}; }
+
+TEST(GlobalLog, RequiresTwoLanes) {
+  EXPECT_THROW(GlobalLog{1}, std::invalid_argument);
+  EXPECT_NO_THROW(GlobalLog{2});
+}
+
+TEST(GlobalLog, CommittedEntryExecutesOnceWatermarksPass) {
+  GlobalLog log = make_log();
+  const LogPosition pos{100, kDfp};
+  log.accept(pos, cmd(0));
+  log.commit(pos);
+  EXPECT_TRUE(log.drain_executable().empty());  // DM lanes still unresolved
+  for (std::uint32_t lane = 0; lane < 3; ++lane) log.advance_watermark(lane, 101);
+  log.advance_watermark(kDfp, 100);  // DFP no-ops strictly below 100
+  const auto execd = log.drain_executable();
+  ASSERT_EQ(execd.size(), 1u);
+  EXPECT_EQ(execd[0].first, pos);
+}
+
+TEST(GlobalLog, AcceptedEntryBlocksItsLane) {
+  GlobalLog log = make_log();
+  log.accept(LogPosition{50, 0}, cmd(0));
+  for (std::uint32_t lane = 0; lane <= kDfp; ++lane) log.advance_watermark(lane, 1000);
+  EXPECT_TRUE(log.drain_executable().empty());  // accepted-but-uncommitted blocks
+  EXPECT_EQ(log.lane_frontier(0), 50);
+  log.commit(LogPosition{50, 0});
+  EXPECT_EQ(log.drain_executable().size(), 1u);
+}
+
+TEST(GlobalLog, GlobalOrderInterleavesLanes) {
+  GlobalLog log = make_log();
+  // DM position at ts=100 sorts before the DFP position at ts=100
+  // (Section 5.5: DM positions share the timestamp of the DFP position
+  // immediately after them).
+  log.commit(LogPosition{100, kDfp}, cmd(1));
+  log.commit(LogPosition{100, 1}, cmd(0));
+  for (std::uint32_t lane = 0; lane <= kDfp; ++lane) log.advance_watermark(lane, 1000);
+  const auto execd = log.drain_executable();
+  ASSERT_EQ(execd.size(), 2u);
+  EXPECT_EQ(execd[0].first, (LogPosition{100, 1}));
+  EXPECT_EQ(execd[1].first, (LogPosition{100, kDfp}));
+}
+
+TEST(GlobalLog, TimestampOrderAcrossLanes) {
+  GlobalLog log = make_log();
+  log.commit(LogPosition{300, 0}, cmd(2));
+  log.commit(LogPosition{100, 2}, cmd(0));
+  log.commit(LogPosition{200, kDfp}, cmd(1));
+  for (std::uint32_t lane = 0; lane <= kDfp; ++lane) log.advance_watermark(lane, 1000);
+  const auto execd = log.drain_executable();
+  ASSERT_EQ(execd.size(), 3u);
+  EXPECT_EQ(execd[0].second.id.seq, 0u);
+  EXPECT_EQ(execd[1].second.id.seq, 1u);
+  EXPECT_EQ(execd[2].second.id.seq, 2u);
+}
+
+TEST(GlobalLog, WatermarkIsMonotonic) {
+  GlobalLog log = make_log();
+  log.advance_watermark(0, 100);
+  log.advance_watermark(0, 50);  // regression ignored
+  EXPECT_EQ(log.watermark(0), 100);
+}
+
+TEST(GlobalLog, LaneFrontierStopsAtWatermark) {
+  GlobalLog log = make_log();
+  log.advance_watermark(0, 500);
+  EXPECT_EQ(log.lane_frontier(0), 500);
+}
+
+TEST(GlobalLog, FrontierWalksOverCommittedEntryAtWatermark) {
+  GlobalLog log = make_log();
+  log.advance_watermark(0, 500);
+  log.commit(LogPosition{500, 0}, cmd(0));  // exactly at the watermark
+  EXPECT_EQ(log.lane_frontier(0), 501);
+}
+
+TEST(GlobalLog, ResolveAsNoopUnblocks) {
+  GlobalLog log = make_log();
+  const LogPosition pos{10, kDfp};
+  log.accept(pos, cmd(0));
+  for (std::uint32_t lane = 0; lane <= kDfp; ++lane) log.advance_watermark(lane, 100);
+  EXPECT_EQ(log.lane_frontier(kDfp), 10);
+  log.resolve_as_noop(pos);
+  EXPECT_GT(log.lane_frontier(kDfp), 10);
+  EXPECT_TRUE(log.drain_executable().empty());  // a no-op executes nothing
+}
+
+TEST(GlobalLog, CommitAfterNoopResolutionThrows) {
+  GlobalLog log = make_log();
+  const LogPosition pos{10, kDfp};
+  log.accept(pos, cmd(0));
+  log.resolve_as_noop(pos);
+  EXPECT_THROW(log.commit(pos), std::logic_error);
+}
+
+TEST(GlobalLog, NoopResolutionOfCommittedThrows) {
+  GlobalLog log = make_log();
+  const LogPosition pos{10, kDfp};
+  log.commit(pos, cmd(0));
+  EXPECT_THROW(log.resolve_as_noop(pos), std::logic_error);
+}
+
+TEST(GlobalLog, ConflictingAcceptOnResolvedEntryThrows) {
+  GlobalLog log = make_log();
+  const LogPosition pos{10, kDfp};
+  log.commit(pos, cmd(0));
+  EXPECT_THROW(log.accept(pos, cmd(1)), std::logic_error);
+  EXPECT_NO_THROW(log.accept(pos, cmd(0)));  // same command is idempotent
+}
+
+TEST(GlobalLog, CommitIsIdempotentAfterExecution) {
+  GlobalLog log = make_log();
+  const LogPosition pos{10, 0};
+  log.commit(pos, cmd(0));
+  for (std::uint32_t lane = 0; lane <= kDfp; ++lane) log.advance_watermark(lane, 100);
+  EXPECT_EQ(log.drain_executable().size(), 1u);
+  EXPECT_NO_THROW(log.commit(pos, cmd(0)));
+  EXPECT_TRUE(log.drain_executable().empty());
+  EXPECT_EQ(log.executed_count(), 1u);
+}
+
+TEST(GlobalLog, CompactionKeepsResolvedState) {
+  GlobalLog log = make_log();
+  for (std::int64_t ts = 10; ts < 100; ts += 10) {
+    log.commit(LogPosition{ts, kDfp}, cmd(static_cast<std::uint64_t>(ts)));
+  }
+  for (std::uint32_t lane = 0; lane <= kDfp; ++lane) log.advance_watermark(lane, 1000);
+  EXPECT_EQ(log.drain_executable().size(), 9u);
+  EXPECT_EQ(log.pending_entries(), 0u);
+  // Resolved-and-compacted positions still answer queries consistently.
+  EXPECT_TRUE(log.is_resolved(LogPosition{50, kDfp}));
+  EXPECT_TRUE(log.is_committed(LogPosition{50, kDfp}));
+}
+
+TEST(GlobalLog, ExecutionNeverCrossesUnresolvedDfpPosition) {
+  GlobalLog log = make_log();
+  log.accept(LogPosition{100, kDfp}, cmd(0));  // pending DFP proposal
+  log.commit(LogPosition{200, 0}, cmd(1));     // later DM commit
+  for (std::uint32_t lane = 0; lane <= kDfp; ++lane) log.advance_watermark(lane, 1000);
+  EXPECT_TRUE(log.drain_executable().empty());
+  log.commit(LogPosition{100, kDfp});
+  const auto execd = log.drain_executable();
+  ASSERT_EQ(execd.size(), 2u);
+  EXPECT_EQ(execd[0].second.id.seq, 0u);
+  EXPECT_EQ(execd[1].second.id.seq, 1u);
+}
+
+TEST(GlobalLog, PartialWatermarksHoldBackExecution) {
+  GlobalLog log = make_log();
+  log.commit(LogPosition{100, kDfp}, cmd(0));
+  log.advance_watermark(0, 1000);
+  log.advance_watermark(1, 1000);
+  log.advance_watermark(kDfp, 1000);
+  // Lane 2's watermark is still 0: its (unknown) positions below 100 gate
+  // the global frontier.
+  EXPECT_TRUE(log.drain_executable().empty());
+  log.advance_watermark(2, 101);
+  EXPECT_EQ(log.drain_executable().size(), 1u);
+}
+
+}  // namespace
+}  // namespace domino::log

@@ -1,0 +1,188 @@
+// Model-based property tests for GlobalLog: random interleavings of
+// accepts, commits, no-op resolutions and watermark advances are replayed
+// against a naive reference model; execution output and resolution state
+// must match exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "log/global_log.h"
+
+namespace domino::log {
+namespace {
+
+sm::Command cmd(std::uint64_t seq) {
+  sm::Command c;
+  c.id = RequestId{NodeId{1}, seq};
+  c.key = "k";
+  c.value = "v";
+  return c;
+}
+
+/// Naive reference: explicit per-position status map, frontier computed by
+/// scanning, no compaction, no hints.
+struct ReferenceLog {
+  enum class St { kAccepted, kCommitted, kNoop };
+  struct Ref {
+    St st;
+    std::uint64_t seq;
+  };
+  std::size_t lanes;
+  std::vector<std::map<std::int64_t, Ref>> entries;
+  std::vector<std::int64_t> watermark;
+  std::set<std::pair<std::int64_t, std::uint32_t>> executed;
+
+  explicit ReferenceLog(std::size_t n) : lanes(n), entries(n), watermark(n, 0) {}
+
+  std::int64_t lane_frontier(std::uint32_t lane) const {
+    // Scan every position from the smallest entry: frontier is the first
+    // position that is neither a resolved entry nor below the watermark.
+    std::int64_t wm = watermark[lane];
+    // Find first accepted entry.
+    std::int64_t blocked = std::numeric_limits<std::int64_t>::max();
+    for (const auto& [ts, ref] : entries[lane]) {
+      if (ref.st == St::kAccepted) {
+        blocked = ts;
+        break;
+      }
+    }
+    // Walk wm over resolved entries sitting exactly at it.
+    for (;;) {
+      auto it = entries[lane].find(wm);
+      if (it == entries[lane].end() || it->second.st == St::kAccepted) break;
+      ++wm;
+    }
+    return std::min(blocked, wm);
+  }
+
+  /// All committed-but-unexecuted entries strictly before the global
+  /// frontier, in (ts, lane) order.
+  std::vector<std::pair<LogPosition, std::uint64_t>> drain() {
+    LogPosition frontier{std::numeric_limits<std::int64_t>::max(),
+                         static_cast<std::uint32_t>(lanes)};
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+      LogPosition cand{lane_frontier(l), l};
+      if (cand < frontier) frontier = cand;
+    }
+    std::vector<std::pair<LogPosition, std::uint64_t>> out;
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+      for (const auto& [ts, ref] : entries[l]) {
+        const LogPosition pos{ts, l};
+        if (!(pos < frontier)) break;
+        if (ref.st == St::kCommitted && !executed.contains({ts, l})) {
+          out.emplace_back(pos, ref.seq);
+          executed.insert({ts, l});
+        }
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+};
+
+TEST(GlobalLogProperty, MatchesReferenceUnderRandomOps) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(seed);
+    const std::size_t lanes = 3;
+    GlobalLog log(lanes);
+    ReferenceLog ref(lanes);
+    std::uint64_t next_seq = 0;
+    // Track live (unresolved) and committed-entry positions for op choice.
+    std::vector<std::pair<std::int64_t, std::uint32_t>> accepted;
+
+    std::vector<std::pair<LogPosition, std::uint64_t>> log_execs, ref_execs;
+
+    for (int op = 0; op < 400; ++op) {
+      const int kind = static_cast<int>(rng.next_u64() % 100);
+      if (kind < 40) {
+        // Accept a new entry at a random position.
+        const std::int64_t ts = rng.uniform_i64(1, 300);
+        const auto lane = static_cast<std::uint32_t>(rng.next_u64() % lanes);
+        const LogPosition pos{ts, lane};
+        // Skip if the reference says this position is unusable (resolved or
+        // conflicting) — mirrors the protocol's acceptance rules.
+        const auto it = ref.entries[lane].find(ts);
+        if (it != ref.entries[lane].end()) continue;
+        if (ts < ref.watermark[lane]) continue;
+        if (ref.executed.contains({ts, lane})) continue;
+        const std::uint64_t seq = next_seq++;
+        log.accept(pos, cmd(seq));
+        ref.entries[lane][ts] = {ReferenceLog::St::kAccepted, seq};
+        accepted.emplace_back(ts, lane);
+      } else if (kind < 70 && !accepted.empty()) {
+        // Commit or noop-resolve a random accepted entry.
+        const std::size_t i = rng.next_u64() % accepted.size();
+        const auto [ts, lane] = accepted[i];
+        accepted.erase(accepted.begin() + static_cast<std::ptrdiff_t>(i));
+        auto& r = ref.entries[lane][ts];
+        if (r.st != ReferenceLog::St::kAccepted) continue;
+        if (rng.chance(0.8)) {
+          log.commit(LogPosition{ts, lane});
+          r.st = ReferenceLog::St::kCommitted;
+        } else {
+          log.resolve_as_noop(LogPosition{ts, lane});
+          r.st = ReferenceLog::St::kNoop;
+        }
+      } else {
+        // Advance a random lane's watermark.
+        const auto lane = static_cast<std::uint32_t>(rng.next_u64() % lanes);
+        const std::int64_t ts = rng.uniform_i64(0, 320);
+        log.advance_watermark(lane, ts);
+        ref.watermark[lane] = std::max(ref.watermark[lane], ts);
+      }
+      // Drain both and compare cumulative execution sequences.
+      for (auto& [pos, command] : log.drain_executable()) {
+        log_execs.emplace_back(pos, command.id.seq);
+      }
+      for (auto& e : ref.drain()) ref_execs.push_back(e);
+      ASSERT_EQ(log_execs, ref_execs) << "seed=" << seed << " op=" << op;
+    }
+    // Force full resolution: commit all remaining accepted, max watermarks.
+    for (const auto& [ts, lane] : accepted) {
+      auto& r = ref.entries[lane][ts];
+      if (r.st != ReferenceLog::St::kAccepted) continue;
+      log.commit(LogPosition{ts, lane});
+      r.st = ReferenceLog::St::kCommitted;
+    }
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+      log.advance_watermark(l, 1000);
+      ref.watermark[l] = 1000;
+    }
+    for (auto& [pos, command] : log.drain_executable()) {
+      log_execs.emplace_back(pos, command.id.seq);
+    }
+    for (auto& e : ref.drain()) ref_execs.push_back(e);
+    ASSERT_EQ(log_execs, ref_execs) << "seed=" << seed << " (final)";
+    // Everything committed must have executed.
+    EXPECT_EQ(log.pending_entries(), 0u) << "seed=" << seed;
+  }
+}
+
+TEST(GlobalLogProperty, ExecutionOrderIsAlwaysSorted) {
+  Rng rng(7);
+  GlobalLog log(4);
+  std::vector<LogPosition> order;
+  for (int op = 0; op < 500; ++op) {
+    const std::int64_t ts = rng.uniform_i64(1, 1000);
+    const auto lane = static_cast<std::uint32_t>(rng.next_u64() % 4);
+    const LogPosition pos{ts, lane};
+    if (log.is_resolved(pos) || log.entry(pos) != nullptr) continue;
+    log.commit(pos, cmd(static_cast<std::uint64_t>(op)));
+    if (op % 10 == 0) {
+      log.advance_watermark(static_cast<std::uint32_t>(rng.next_u64() % 4),
+                            rng.uniform_i64(0, 1100));
+    }
+    for (auto& [p, c] : log.drain_executable()) {
+      (void)c;
+      order.push_back(p);
+    }
+  }
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LT(order[i - 1], order[i]);
+  }
+}
+
+}  // namespace
+}  // namespace domino::log

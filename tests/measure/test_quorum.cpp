@@ -1,0 +1,50 @@
+#include "measure/quorum.h"
+
+#include <gtest/gtest.h>
+
+namespace domino::measure {
+namespace {
+
+TEST(Quorum, FaultTolerance) {
+  EXPECT_EQ(fault_tolerance(1), 0u);
+  EXPECT_EQ(fault_tolerance(3), 1u);
+  EXPECT_EQ(fault_tolerance(5), 2u);
+  EXPECT_EQ(fault_tolerance(7), 3u);
+  EXPECT_EQ(fault_tolerance(9), 4u);
+}
+
+TEST(Quorum, Majority) {
+  EXPECT_EQ(majority(1), 1u);
+  EXPECT_EQ(majority(3), 2u);
+  EXPECT_EQ(majority(5), 3u);
+  EXPECT_EQ(majority(7), 4u);
+}
+
+TEST(Quorum, SupermajorityMatchesPaperFootnote) {
+  // ceil(3f/2) + 1 out of 2f + 1.
+  EXPECT_EQ(supermajority(3), 3u);   // f=1: ceil(1.5)+1 = 3
+  EXPECT_EQ(supermajority(5), 4u);   // f=2: 3+1 = 4
+  EXPECT_EQ(supermajority(7), 6u);   // f=3: ceil(4.5)+1 = 6
+  EXPECT_EQ(supermajority(9), 7u);   // f=4: 6+1 = 7
+}
+
+TEST(Quorum, SupermajorityAtLeastMajority) {
+  for (std::size_t n = 1; n <= 21; n += 2) {
+    EXPECT_GE(supermajority(n), majority(n));
+    EXPECT_LE(supermajority(n), n);
+  }
+}
+
+TEST(Quorum, FastQuorumIntersectionProperty) {
+  // Any two supermajorities plus any majority must share a replica — the
+  // Fast Paxos safety requirement (q >= n - f + ... equivalently
+  // 2q + m > 2n with m = majority).
+  for (std::size_t n = 3; n <= 21; n += 2) {
+    const std::size_t q = supermajority(n);
+    const std::size_t m = majority(n);
+    EXPECT_GT(2 * q + m, 2 * n) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace domino::measure

@@ -1,0 +1,168 @@
+// Real-socket transport tests (loopback): framing, ordering, large
+// payloads, lazy connects, hello handshake, and disconnect handling.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "measure/messages.h"
+#include "net/tcp/tcp_host.h"
+
+namespace domino::net::tcp {
+namespace {
+
+/// Drive the loop until `done()` or the deadline (real time) expires.
+void pump(EventLoop& loop, const std::function<bool()>& done,
+          Duration deadline = seconds(5)) {
+  const TimePoint until = loop.now() + deadline;
+  while (!done() && loop.now() < until) {
+    loop.poll(milliseconds(20));
+  }
+}
+
+struct TcpPair : ::testing::Test {
+  EventLoop loop;
+  TcpHost a{loop, NodeId{1}, {"127.0.0.1", 0}};
+  TcpHost b{loop, NodeId{2}, {"127.0.0.1", 0}};
+  std::vector<std::pair<NodeId, wire::Payload>> a_rx, b_rx;
+
+  void SetUp() override {
+    a.add_peer(NodeId{2}, {"127.0.0.1", b.port()});
+    b.add_peer(NodeId{1}, {"127.0.0.1", a.port()});
+    a.set_receive_callback(
+        [this](NodeId from, wire::Payload p) { a_rx.emplace_back(from, std::move(p)); });
+    b.set_receive_callback(
+        [this](NodeId from, wire::Payload p) { b_rx.emplace_back(from, std::move(p)); });
+  }
+};
+
+TEST_F(TcpPair, ListenPortsAssigned) {
+  EXPECT_GT(a.port(), 0);
+  EXPECT_GT(b.port(), 0);
+  EXPECT_NE(a.port(), b.port());
+}
+
+TEST_F(TcpPair, MessageRoundTrip) {
+  measure::Probe probe;
+  probe.seq = 42;
+  probe.sender_local_time = TimePoint::epoch() + milliseconds(7);
+  ASSERT_TRUE(a.send_message(NodeId{2}, probe));
+  pump(loop, [&] { return !b_rx.empty(); });
+  ASSERT_EQ(b_rx.size(), 1u);
+  EXPECT_EQ(b_rx[0].first, NodeId{1});
+  const auto decoded = wire::decode_message<measure::Probe>(b_rx[0].second);
+  EXPECT_EQ(decoded.seq, 42u);
+  EXPECT_EQ(decoded.sender_local_time, probe.sender_local_time);
+}
+
+TEST_F(TcpPair, BidirectionalOverSingleConnection) {
+  measure::Probe probe;
+  probe.seq = 1;
+  ASSERT_TRUE(a.send_message(NodeId{2}, probe));
+  pump(loop, [&] { return !b_rx.empty(); });
+  // b replies over the same (inbound) connection.
+  measure::ProbeReply reply;
+  reply.seq = 1;
+  ASSERT_TRUE(b.send_message(NodeId{1}, reply));
+  pump(loop, [&] { return !a_rx.empty(); });
+  ASSERT_EQ(a_rx.size(), 1u);
+  EXPECT_EQ(a_rx[0].first, NodeId{2});
+  EXPECT_EQ(wire::peek_type(a_rx[0].second), wire::MessageType::kProbeReply);
+}
+
+TEST_F(TcpPair, OrderPreservedUnderBurst) {
+  const int kCount = 500;
+  for (int i = 0; i < kCount; ++i) {
+    measure::Probe p;
+    p.seq = static_cast<std::uint64_t>(i);
+    ASSERT_TRUE(a.send_message(NodeId{2}, p));
+  }
+  pump(loop, [&] { return b_rx.size() >= kCount; });
+  ASSERT_EQ(b_rx.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    const auto p = wire::decode_message<measure::Probe>(b_rx[(std::size_t)i].second);
+    EXPECT_EQ(p.seq, static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST_F(TcpPair, LargeFrameSurvivesFragmentation) {
+  // A ~2 MB frame necessarily crosses many TCP segments and socket-buffer
+  // boundaries.
+  Rng rng(5);
+  wire::ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(wire::MessageType::kProbe));  // fake envelope
+  std::vector<std::uint8_t> blob(2'000'000);
+  for (auto& byte : blob) byte = static_cast<std::uint8_t>(rng.next_u64());
+  w.bytes(blob);
+  const wire::Payload payload = w.buffer();
+  ASSERT_TRUE(a.send(NodeId{2}, payload));
+  pump(loop, [&] { return !b_rx.empty(); }, seconds(10));
+  ASSERT_EQ(b_rx.size(), 1u);
+  EXPECT_EQ(b_rx[0].second, payload);
+}
+
+TEST_F(TcpPair, UnknownPeerSendFails) {
+  EXPECT_FALSE(a.send(NodeId{99}, wire::Payload{1, 2, 3}));
+}
+
+TEST_F(TcpPair, DisconnectThenReconnect) {
+  measure::Probe p;
+  p.seq = 1;
+  ASSERT_TRUE(a.send_message(NodeId{2}, p));
+  pump(loop, [&] { return !b_rx.empty(); });
+  a.disconnect(NodeId{2});
+  loop.poll(milliseconds(50));
+  // Sending again lazily reopens the connection.
+  p.seq = 2;
+  ASSERT_TRUE(a.send_message(NodeId{2}, p));
+  pump(loop, [&] { return b_rx.size() >= 2; });
+  ASSERT_GE(b_rx.size(), 2u);
+  EXPECT_EQ(wire::decode_message<measure::Probe>(b_rx.back().second).seq, 2u);
+}
+
+TEST(TcpMesh, ThreeHostsAllPairs) {
+  EventLoop loop;
+  TcpHost h0(loop, NodeId{0}, {"127.0.0.1", 0});
+  TcpHost h1(loop, NodeId{1}, {"127.0.0.1", 0});
+  TcpHost h2(loop, NodeId{2}, {"127.0.0.1", 0});
+  TcpHost* hosts[3] = {&h0, &h1, &h2};
+  int received[3] = {0, 0, 0};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      if (i == j) continue;
+      hosts[i]->add_peer(NodeId{(std::uint32_t)j}, {"127.0.0.1", hosts[j]->port()});
+    }
+    hosts[i]->set_receive_callback(
+        [&received, i](NodeId, wire::Payload) { ++received[i]; });
+  }
+  measure::Probe p;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      if (i == j) continue;
+      p.seq = static_cast<std::uint64_t>(i * 3 + j);
+      ASSERT_TRUE(hosts[i]->send_message(NodeId{(std::uint32_t)j}, p));
+    }
+  }
+  pump(loop, [&] { return received[0] >= 2 && received[1] >= 2 && received[2] >= 2; });
+  EXPECT_EQ(received[0], 2);
+  EXPECT_EQ(received[1], 2);
+  EXPECT_EQ(received[2], 2);
+}
+
+TEST(TcpEventLoop, TimersFireInOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(milliseconds(30), [&] { order.push_back(3); });
+  loop.schedule(milliseconds(10), [&] { order.push_back(1); });
+  loop.schedule(milliseconds(20), [&] { order.push_back(2); });
+  pump(loop, [&] { return order.size() == 3; });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TcpEventLoop, MonotonicClock) {
+  EventLoop loop;
+  const TimePoint t0 = loop.now();
+  loop.poll(milliseconds(10));
+  EXPECT_GE(loop.now(), t0);
+}
+
+}  // namespace
+}  // namespace domino::net::tcp

@@ -1,0 +1,123 @@
+#include "rpc/client_base.h"
+
+#include <gtest/gtest.h>
+
+namespace domino::rpc {
+namespace {
+
+net::Topology one_dc() { return net::Topology{{"A"}, {{0.0}}}; }
+
+/// Client whose propose() self-commits after a fixed delay.
+class LoopbackClient : public ClientBase {
+ public:
+  LoopbackClient(NodeId id, net::Network& network, Duration commit_delay)
+      : ClientBase(id, 0, network, sim::LocalClock{}), delay_(commit_delay) {}
+
+  std::vector<sm::Command> proposed;
+
+ protected:
+  void propose(const sm::Command& command) override {
+    proposed.push_back(command);
+    after(delay_, [this, id = command.id] { handle_committed(id); });
+  }
+  void on_packet(const net::Packet&) override {}
+
+ private:
+  Duration delay_;
+};
+
+TEST(ClientBase, SubmitTriggersProposeAndHooks) {
+  sim::Simulator simulator;
+  net::Network network(simulator, one_dc(), 1);
+  LoopbackClient c(NodeId{1000}, network, milliseconds(30));
+  c.attach();
+
+  std::vector<Duration> latencies;
+  c.set_commit_hook([&](const RequestId&, TimePoint sent, TimePoint committed) {
+    latencies.push_back(committed - sent);
+  });
+  int sends = 0;
+  c.set_send_hook([&](const RequestId&, TimePoint) { ++sends; });
+
+  sm::Command cmd;
+  cmd.id = RequestId{NodeId{1000}, 0};
+  cmd.key = "k";
+  cmd.value = "v";
+  c.submit(cmd);
+  simulator.run();
+
+  EXPECT_EQ(sends, 1);
+  EXPECT_EQ(c.submitted_count(), 1u);
+  EXPECT_EQ(c.committed_count(), 1u);
+  ASSERT_EQ(latencies.size(), 1u);
+  EXPECT_EQ(latencies[0], milliseconds(30));
+}
+
+TEST(ClientBase, DuplicateCommitIgnored) {
+  sim::Simulator simulator;
+  net::Network network(simulator, one_dc(), 1);
+
+  class DoubleCommit : public LoopbackClient {
+   public:
+    using LoopbackClient::LoopbackClient;
+    void force_commit(const RequestId& id) { handle_committed(id); }
+  };
+  DoubleCommit c(NodeId{1000}, network, milliseconds(1));
+  c.attach();
+  int commits = 0;
+  c.set_commit_hook([&](const RequestId&, TimePoint, TimePoint) { ++commits; });
+
+  sm::Command cmd;
+  cmd.id = RequestId{NodeId{1000}, 0};
+  c.submit(cmd);
+  simulator.run();
+  c.force_commit(cmd.id);  // duplicate
+  EXPECT_EQ(commits, 1);
+  EXPECT_EQ(c.committed_count(), 1u);
+}
+
+TEST(ClientBase, ForeignCommitIgnored) {
+  sim::Simulator simulator;
+  net::Network network(simulator, one_dc(), 1);
+  class Exposed : public LoopbackClient {
+   public:
+    using LoopbackClient::LoopbackClient;
+    void force_commit(const RequestId& id) { handle_committed(id); }
+  };
+  Exposed c(NodeId{1000}, network, milliseconds(1));
+  c.attach();
+  c.force_commit(RequestId{NodeId{1234}, 0});  // not our client id
+  EXPECT_EQ(c.committed_count(), 0u);
+}
+
+TEST(ClientBase, LoadGeneratorPacesRequests) {
+  sim::Simulator simulator;
+  net::Network network(simulator, one_dc(), 1);
+  LoopbackClient c(NodeId{1000}, network, milliseconds(1));
+  c.attach();
+  sm::WorkloadConfig wc;
+  wc.num_keys = 100;
+  sm::WorkloadGenerator gen(wc, 1);
+  c.start_load(gen, 100.0);  // 100 rps -> every 10 ms
+  simulator.run_until(TimePoint::epoch() + seconds(1));
+  c.stop_load();
+  EXPECT_EQ(c.submitted_count(), 100u);
+  simulator.run_until(TimePoint::epoch() + seconds(2));
+  EXPECT_EQ(c.committed_count(), 100u);
+  EXPECT_EQ(c.inflight_count(), 0u);
+}
+
+TEST(ClientBase, ZeroRateIsNoop) {
+  sim::Simulator simulator;
+  net::Network network(simulator, one_dc(), 1);
+  LoopbackClient c(NodeId{1000}, network, milliseconds(1));
+  c.attach();
+  sm::WorkloadConfig wc;
+  sm::WorkloadGenerator gen(wc, 1);
+  c.start_load(gen, 0.0);
+  simulator.run_until(TimePoint::epoch() + seconds(1));
+  EXPECT_EQ(c.submitted_count(), 0u);
+}
+
+}  // namespace
+}  // namespace domino::rpc

@@ -1,0 +1,51 @@
+#include "sim/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace domino::sim {
+namespace {
+
+TEST(LocalClock, DefaultIsIdentity) {
+  LocalClock c;
+  const TimePoint t = TimePoint::epoch() + seconds(100);
+  EXPECT_EQ(c.local(t), t);
+  EXPECT_EQ(c.true_at(t), t);
+}
+
+TEST(LocalClock, OffsetShiftsReadings) {
+  LocalClock c(milliseconds(5), 0.0);
+  const TimePoint t = TimePoint::epoch() + seconds(1);
+  EXPECT_EQ(c.local(t), t + milliseconds(5));
+}
+
+TEST(LocalClock, NegativeOffset) {
+  LocalClock c(milliseconds(-3), 0.0);
+  const TimePoint t = TimePoint::epoch() + seconds(1);
+  EXPECT_EQ(c.local(t), t - milliseconds(3));
+}
+
+TEST(LocalClock, DriftAccumulates) {
+  LocalClock c(Duration::zero(), 100.0);  // 100 ppm fast
+  const TimePoint t = TimePoint::epoch() + seconds(1000);
+  // 1000 s * 100 ppm = 100 ms ahead.
+  EXPECT_NEAR((c.local(t) - t).millis(), 100.0, 0.001);
+}
+
+TEST(LocalClock, TrueAtInvertsLocal) {
+  LocalClock c(milliseconds(7), 42.0);
+  const TimePoint t = TimePoint::epoch() + seconds(123);
+  const TimePoint local = c.local(t);
+  EXPECT_NEAR((c.true_at(local) - t).millis(), 0.0, 0.001);
+}
+
+TEST(LocalClock, SkewBetweenTwoClocks) {
+  // Two replicas with different offsets disagree by the offset delta —
+  // exactly the skew folded into Domino's OWD measurements.
+  LocalClock a(milliseconds(2), 0.0);
+  LocalClock b(milliseconds(-2), 0.0);
+  const TimePoint t = TimePoint::epoch() + seconds(10);
+  EXPECT_EQ(a.local(t) - b.local(t), milliseconds(4));
+}
+
+}  // namespace
+}  // namespace domino::sim

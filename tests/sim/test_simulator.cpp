@@ -1,0 +1,149 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace domino::sim {
+namespace {
+
+TEST(Simulator, StartsAtEpoch) {
+  Simulator s;
+  EXPECT_EQ(s.now(), TimePoint::epoch());
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_after(milliseconds(30), [&] { order.push_back(3); });
+  s.schedule_after(milliseconds(10), [&] { order.push_back(1); });
+  s.schedule_after(milliseconds(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SameTimeFifoOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_after(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NowAdvancesToEventTime) {
+  Simulator s;
+  TimePoint seen;
+  s.schedule_after(milliseconds(42), [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, TimePoint::epoch() + milliseconds(42));
+  EXPECT_EQ(s.now(), TimePoint::epoch() + milliseconds(42));
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  Simulator s;
+  s.schedule_after(milliseconds(10), [&] {
+    // From inside an event, scheduling in the past runs "immediately".
+    bool ran = false;
+    s.schedule_at(TimePoint::epoch(), [&ran, &s] {
+      ran = true;
+      EXPECT_EQ(s.now(), TimePoint::epoch() + milliseconds(10));
+    });
+    (void)ran;
+  });
+  s.run();
+}
+
+TEST(Simulator, NegativeDelayClamps) {
+  Simulator s;
+  int runs = 0;
+  s.schedule_after(milliseconds(-5), [&] { ++runs; });
+  s.run();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int runs = 0;
+  s.schedule_after(milliseconds(10), [&] { ++runs; });
+  s.schedule_after(milliseconds(20), [&] { ++runs; });
+  s.schedule_after(milliseconds(30), [&] { ++runs; });
+  s.run_until(TimePoint::epoch() + milliseconds(20));
+  EXPECT_EQ(runs, 2);  // the event at exactly the deadline still runs
+  EXPECT_EQ(s.now(), TimePoint::epoch() + milliseconds(20));
+  EXPECT_EQ(s.pending_events(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator s;
+  s.run_until(TimePoint::epoch() + seconds(5));
+  EXPECT_EQ(s.now(), TimePoint::epoch() + seconds(5));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> chain = [&]() {
+    if (++depth < 5) s.schedule_after(milliseconds(1), chain);
+  };
+  s.schedule_after(milliseconds(1), chain);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), TimePoint::epoch() + milliseconds(5));
+}
+
+TEST(Simulator, ExecutedEventsCounted) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule_after(milliseconds(i), [] {});
+  s.run();
+  EXPECT_EQ(s.executed_events(), 7u);
+}
+
+TEST(PeriodicTimer, FiresAtInterval) {
+  Simulator s;
+  PeriodicTimer t;
+  int ticks = 0;
+  t.start(s, milliseconds(10), milliseconds(10), [&] { ++ticks; });
+  s.run_until(TimePoint::epoch() + milliseconds(100));
+  EXPECT_EQ(ticks, 10);
+}
+
+TEST(PeriodicTimer, StopEndsFiring) {
+  Simulator s;
+  PeriodicTimer t;
+  int ticks = 0;
+  t.start(s, milliseconds(10), milliseconds(10), [&] {
+    if (++ticks == 3) t.stop();
+  });
+  s.run();
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(PeriodicTimer, RestartCancelsPrevious) {
+  Simulator s;
+  PeriodicTimer t;
+  int a = 0, b = 0;
+  t.start(s, milliseconds(10), milliseconds(10), [&] { ++a; });
+  t.start(s, milliseconds(10), milliseconds(10), [&] { ++b; });
+  s.run_until(TimePoint::epoch() + milliseconds(55));
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 5);
+  t.stop();
+}
+
+TEST(PeriodicTimer, InitialDelayDiffersFromInterval) {
+  Simulator s;
+  PeriodicTimer t;
+  std::vector<TimePoint> fires;
+  t.start(s, Duration::zero(), milliseconds(20), [&] { fires.push_back(s.now()); });
+  s.run_until(TimePoint::epoch() + milliseconds(50));
+  ASSERT_EQ(fires.size(), 3u);  // 0, 20, 40
+  EXPECT_EQ(fires[0], TimePoint::epoch());
+  EXPECT_EQ(fires[2], TimePoint::epoch() + milliseconds(40));
+  t.stop();
+}
+
+}  // namespace
+}  // namespace domino::sim

@@ -1,0 +1,57 @@
+#include "statemachine/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace domino::sm {
+namespace {
+
+TEST(Workload, KeyValueSizesMatchPaper) {
+  WorkloadConfig cfg;  // defaults: 8 B keys/values, the paper's 16 B requests
+  WorkloadGenerator gen(cfg, 1);
+  for (int i = 0; i < 100; ++i) {
+    const Command c = gen.next(NodeId{5});
+    EXPECT_EQ(c.key.size(), 8u);
+    EXPECT_EQ(c.value.size(), 8u);
+  }
+}
+
+TEST(Workload, SequenceNumbersIncrease) {
+  WorkloadGenerator gen(WorkloadConfig{}, 1);
+  const Command a = gen.next(NodeId{5});
+  const Command b = gen.next(NodeId{5});
+  EXPECT_EQ(a.id.client, NodeId{5});
+  EXPECT_EQ(b.id.seq, a.id.seq + 1);
+}
+
+TEST(Workload, KeysWithinKeySpace) {
+  WorkloadConfig cfg;
+  cfg.num_keys = 50;
+  WorkloadGenerator gen(cfg, 2);
+  for (int i = 0; i < 1000; ++i) {
+    const Command c = gen.next(NodeId{1});
+    EXPECT_LT(std::stoull(c.key), 50u);
+  }
+}
+
+TEST(Workload, ZipfSkewVisible) {
+  WorkloadConfig cfg;
+  cfg.num_keys = 1000;
+  cfg.zipf_alpha = 0.95;
+  WorkloadGenerator gen(cfg, 3);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 20'000; ++i) ++counts[gen.next(NodeId{1}).key];
+  // The hottest key should be far hotter than the median key.
+  int max_count = 0;
+  for (const auto& [k, v] : counts) max_count = std::max(max_count, v);
+  EXPECT_GT(max_count, 200);
+}
+
+TEST(Workload, DeterministicForSeed) {
+  WorkloadGenerator a(WorkloadConfig{}, 42), b(WorkloadConfig{}, 42);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.next(NodeId{1}), b.next(NodeId{1}));
+}
+
+}  // namespace
+}  // namespace domino::sm
