@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_design.cpp" "bench/CMakeFiles/bench_ablation_design.dir/bench_ablation_design.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_design.dir/bench_ablation_design.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/domino_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/domino_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/paxos/CMakeFiles/domino_paxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/mencius/CMakeFiles/domino_mencius.dir/DependInfo.cmake"
+  "/root/repo/build/src/epaxos/CMakeFiles/domino_epaxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/fastpaxos/CMakeFiles/domino_fastpaxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/domino_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/domino_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/domino_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/statemachine/CMakeFiles/domino_statemachine.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/domino_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/domino_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/domino_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/domino_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

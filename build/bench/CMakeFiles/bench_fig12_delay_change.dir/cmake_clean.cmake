@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_delay_change.dir/bench_fig12_delay_change.cpp.o"
+  "CMakeFiles/bench_fig12_delay_change.dir/bench_fig12_delay_change.cpp.o.d"
+  "bench_fig12_delay_change"
+  "bench_fig12_delay_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_delay_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

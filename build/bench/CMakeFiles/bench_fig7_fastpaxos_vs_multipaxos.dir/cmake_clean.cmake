@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_fastpaxos_vs_multipaxos.dir/bench_fig7_fastpaxos_vs_multipaxos.cpp.o"
+  "CMakeFiles/bench_fig7_fastpaxos_vs_multipaxos.dir/bench_fig7_fastpaxos_vs_multipaxos.cpp.o.d"
+  "bench_fig7_fastpaxos_vs_multipaxos"
+  "bench_fig7_fastpaxos_vs_multipaxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fastpaxos_vs_multipaxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_geometry.dir/bench_sec4_geometry.cpp.o"
+  "CMakeFiles/bench_sec4_geometry.dir/bench_sec4_geometry.cpp.o.d"
+  "bench_sec4_geometry"
+  "bench_sec4_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

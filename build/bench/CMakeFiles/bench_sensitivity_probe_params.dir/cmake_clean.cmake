@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensitivity_probe_params.dir/bench_sensitivity_probe_params.cpp.o"
+  "CMakeFiles/bench_sensitivity_probe_params.dir/bench_sensitivity_probe_params.cpp.o.d"
+  "bench_sensitivity_probe_params"
+  "bench_sensitivity_probe_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity_probe_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

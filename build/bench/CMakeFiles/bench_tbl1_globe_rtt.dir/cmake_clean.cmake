@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl1_globe_rtt.dir/bench_tbl1_globe_rtt.cpp.o"
+  "CMakeFiles/bench_tbl1_globe_rtt.dir/bench_tbl1_globe_rtt.cpp.o.d"
+  "bench_tbl1_globe_rtt"
+  "bench_tbl1_globe_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl1_globe_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

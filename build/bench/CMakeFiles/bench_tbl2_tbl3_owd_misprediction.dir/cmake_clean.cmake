@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl2_tbl3_owd_misprediction.dir/bench_tbl2_tbl3_owd_misprediction.cpp.o"
+  "CMakeFiles/bench_tbl2_tbl3_owd_misprediction.dir/bench_tbl2_tbl3_owd_misprediction.cpp.o.d"
+  "bench_tbl2_tbl3_owd_misprediction"
+  "bench_tbl2_tbl3_owd_misprediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl2_tbl3_owd_misprediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tbl2_tbl3_owd_misprediction.
+# This may be replaced when dependencies are built.

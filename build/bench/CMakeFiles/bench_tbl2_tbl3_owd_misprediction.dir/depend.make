@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tbl2_tbl3_owd_misprediction.
+# This may be replaced when dependencies are built.

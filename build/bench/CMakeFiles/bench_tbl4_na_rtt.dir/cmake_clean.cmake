@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl4_na_rtt.dir/bench_tbl4_na_rtt.cpp.o"
+  "CMakeFiles/bench_tbl4_na_rtt.dir/bench_tbl4_na_rtt.cpp.o.d"
+  "bench_tbl4_na_rtt"
+  "bench_tbl4_na_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl4_na_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

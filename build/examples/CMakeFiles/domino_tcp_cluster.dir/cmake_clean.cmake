@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_tcp_cluster.dir/domino_tcp_cluster.cpp.o"
+  "CMakeFiles/domino_tcp_cluster.dir/domino_tcp_cluster.cpp.o.d"
+  "domino_tcp_cluster"
+  "domino_tcp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_tcp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for domino_tcp_cluster.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_replicated_kv.dir/geo_replicated_kv.cpp.o"
+  "CMakeFiles/geo_replicated_kv.dir/geo_replicated_kv.cpp.o.d"
+  "geo_replicated_kv"
+  "geo_replicated_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_replicated_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_race.dir/protocol_race.cpp.o"
+  "CMakeFiles/protocol_race.dir/protocol_race.cpp.o.d"
+  "protocol_race"
+  "protocol_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_measurement_demo.dir/tcp_measurement_demo.cpp.o"
+  "CMakeFiles/tcp_measurement_demo.dir/tcp_measurement_demo.cpp.o.d"
+  "tcp_measurement_demo"
+  "tcp_measurement_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_measurement_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_lab.dir/wan_lab.cpp.o"
+  "CMakeFiles/wan_lab.dir/wan_lab.cpp.o.d"
+  "wan_lab"
+  "wan_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

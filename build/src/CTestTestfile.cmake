@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("wire")
+subdirs("net")
+subdirs("rpc")
+subdirs("measure")
+subdirs("statemachine")
+subdirs("log")
+subdirs("paxos")
+subdirs("mencius")
+subdirs("epaxos")
+subdirs("fastpaxos")
+subdirs("core")
+subdirs("harness")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_common.dir/interval_set.cpp.o"
+  "CMakeFiles/domino_common.dir/interval_set.cpp.o.d"
+  "CMakeFiles/domino_common.dir/rng.cpp.o"
+  "CMakeFiles/domino_common.dir/rng.cpp.o.d"
+  "CMakeFiles/domino_common.dir/stats.cpp.o"
+  "CMakeFiles/domino_common.dir/stats.cpp.o.d"
+  "CMakeFiles/domino_common.dir/time.cpp.o"
+  "CMakeFiles/domino_common.dir/time.cpp.o.d"
+  "CMakeFiles/domino_common.dir/window_estimator.cpp.o"
+  "CMakeFiles/domino_common.dir/window_estimator.cpp.o.d"
+  "CMakeFiles/domino_common.dir/zipf.cpp.o"
+  "CMakeFiles/domino_common.dir/zipf.cpp.o.d"
+  "libdomino_common.a"
+  "libdomino_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

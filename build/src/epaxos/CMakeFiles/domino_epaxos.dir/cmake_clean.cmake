@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_epaxos.dir/replica.cpp.o"
+  "CMakeFiles/domino_epaxos.dir/replica.cpp.o.d"
+  "libdomino_epaxos.a"
+  "libdomino_epaxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_epaxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for domino_epaxos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_fastpaxos.dir/replica.cpp.o"
+  "CMakeFiles/domino_fastpaxos.dir/replica.cpp.o.d"
+  "libdomino_fastpaxos.a"
+  "libdomino_fastpaxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_fastpaxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

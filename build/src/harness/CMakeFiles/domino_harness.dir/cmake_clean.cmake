@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_harness.dir/collector.cpp.o"
+  "CMakeFiles/domino_harness.dir/collector.cpp.o.d"
+  "CMakeFiles/domino_harness.dir/geometry.cpp.o"
+  "CMakeFiles/domino_harness.dir/geometry.cpp.o.d"
+  "CMakeFiles/domino_harness.dir/report.cpp.o"
+  "CMakeFiles/domino_harness.dir/report.cpp.o.d"
+  "CMakeFiles/domino_harness.dir/runner.cpp.o"
+  "CMakeFiles/domino_harness.dir/runner.cpp.o.d"
+  "CMakeFiles/domino_harness.dir/trace.cpp.o"
+  "CMakeFiles/domino_harness.dir/trace.cpp.o.d"
+  "libdomino_harness.a"
+  "libdomino_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/log/global_log.cpp" "src/log/CMakeFiles/domino_log.dir/global_log.cpp.o" "gcc" "src/log/CMakeFiles/domino_log.dir/global_log.cpp.o.d"
+  "/root/repo/src/log/index_log.cpp" "src/log/CMakeFiles/domino_log.dir/index_log.cpp.o" "gcc" "src/log/CMakeFiles/domino_log.dir/index_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/domino_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/statemachine/CMakeFiles/domino_statemachine.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/domino_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_log.dir/global_log.cpp.o"
+  "CMakeFiles/domino_log.dir/global_log.cpp.o.d"
+  "CMakeFiles/domino_log.dir/index_log.cpp.o"
+  "CMakeFiles/domino_log.dir/index_log.cpp.o.d"
+  "libdomino_log.a"
+  "libdomino_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/estimator.cpp" "src/measure/CMakeFiles/domino_measure.dir/estimator.cpp.o" "gcc" "src/measure/CMakeFiles/domino_measure.dir/estimator.cpp.o.d"
+  "/root/repo/src/measure/prober.cpp" "src/measure/CMakeFiles/domino_measure.dir/prober.cpp.o" "gcc" "src/measure/CMakeFiles/domino_measure.dir/prober.cpp.o.d"
+  "/root/repo/src/measure/proxy.cpp" "src/measure/CMakeFiles/domino_measure.dir/proxy.cpp.o" "gcc" "src/measure/CMakeFiles/domino_measure.dir/proxy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpc/CMakeFiles/domino_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/domino_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/domino_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/domino_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/statemachine/CMakeFiles/domino_statemachine.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/domino_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_measure.dir/estimator.cpp.o"
+  "CMakeFiles/domino_measure.dir/estimator.cpp.o.d"
+  "CMakeFiles/domino_measure.dir/prober.cpp.o"
+  "CMakeFiles/domino_measure.dir/prober.cpp.o.d"
+  "CMakeFiles/domino_measure.dir/proxy.cpp.o"
+  "CMakeFiles/domino_measure.dir/proxy.cpp.o.d"
+  "libdomino_measure.a"
+  "libdomino_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_mencius.dir/replica.cpp.o"
+  "CMakeFiles/domino_mencius.dir/replica.cpp.o.d"
+  "libdomino_mencius.a"
+  "libdomino_mencius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_mencius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

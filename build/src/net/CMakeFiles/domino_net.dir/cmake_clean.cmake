@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_net.dir/latency_model.cpp.o"
+  "CMakeFiles/domino_net.dir/latency_model.cpp.o.d"
+  "CMakeFiles/domino_net.dir/network.cpp.o"
+  "CMakeFiles/domino_net.dir/network.cpp.o.d"
+  "CMakeFiles/domino_net.dir/topology.cpp.o"
+  "CMakeFiles/domino_net.dir/topology.cpp.o.d"
+  "libdomino_net.a"
+  "libdomino_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

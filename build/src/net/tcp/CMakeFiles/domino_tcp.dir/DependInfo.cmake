@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/tcp/event_loop.cpp" "src/net/tcp/CMakeFiles/domino_tcp.dir/event_loop.cpp.o" "gcc" "src/net/tcp/CMakeFiles/domino_tcp.dir/event_loop.cpp.o.d"
+  "/root/repo/src/net/tcp/frame_connection.cpp" "src/net/tcp/CMakeFiles/domino_tcp.dir/frame_connection.cpp.o" "gcc" "src/net/tcp/CMakeFiles/domino_tcp.dir/frame_connection.cpp.o.d"
+  "/root/repo/src/net/tcp/tcp_context.cpp" "src/net/tcp/CMakeFiles/domino_tcp.dir/tcp_context.cpp.o" "gcc" "src/net/tcp/CMakeFiles/domino_tcp.dir/tcp_context.cpp.o.d"
+  "/root/repo/src/net/tcp/tcp_host.cpp" "src/net/tcp/CMakeFiles/domino_tcp.dir/tcp_host.cpp.o" "gcc" "src/net/tcp/CMakeFiles/domino_tcp.dir/tcp_host.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/domino_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/domino_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/domino_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/domino_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/domino_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/statemachine/CMakeFiles/domino_statemachine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

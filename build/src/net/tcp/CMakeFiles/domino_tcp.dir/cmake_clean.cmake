@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_tcp.dir/event_loop.cpp.o"
+  "CMakeFiles/domino_tcp.dir/event_loop.cpp.o.d"
+  "CMakeFiles/domino_tcp.dir/frame_connection.cpp.o"
+  "CMakeFiles/domino_tcp.dir/frame_connection.cpp.o.d"
+  "CMakeFiles/domino_tcp.dir/tcp_context.cpp.o"
+  "CMakeFiles/domino_tcp.dir/tcp_context.cpp.o.d"
+  "CMakeFiles/domino_tcp.dir/tcp_host.cpp.o"
+  "CMakeFiles/domino_tcp.dir/tcp_host.cpp.o.d"
+  "libdomino_tcp.a"
+  "libdomino_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_paxos.dir/replica.cpp.o"
+  "CMakeFiles/domino_paxos.dir/replica.cpp.o.d"
+  "libdomino_paxos.a"
+  "libdomino_paxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_paxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

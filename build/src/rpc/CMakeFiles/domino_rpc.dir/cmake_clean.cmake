@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_rpc.dir/client_base.cpp.o"
+  "CMakeFiles/domino_rpc.dir/client_base.cpp.o.d"
+  "CMakeFiles/domino_rpc.dir/node.cpp.o"
+  "CMakeFiles/domino_rpc.dir/node.cpp.o.d"
+  "libdomino_rpc.a"
+  "libdomino_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

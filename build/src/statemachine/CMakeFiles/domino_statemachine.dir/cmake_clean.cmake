@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_statemachine.dir/kvstore.cpp.o"
+  "CMakeFiles/domino_statemachine.dir/kvstore.cpp.o.d"
+  "CMakeFiles/domino_statemachine.dir/workload.cpp.o"
+  "CMakeFiles/domino_statemachine.dir/workload.cpp.o.d"
+  "libdomino_statemachine.a"
+  "libdomino_statemachine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_statemachine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

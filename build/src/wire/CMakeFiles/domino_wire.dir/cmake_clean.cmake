@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_wire.dir/codec.cpp.o"
+  "CMakeFiles/domino_wire.dir/codec.cpp.o.d"
+  "libdomino_wire.a"
+  "libdomino_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

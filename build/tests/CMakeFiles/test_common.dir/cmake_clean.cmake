@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_ids.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_ids.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_interval_set.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_interval_set.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_time.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_time.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_window_estimator.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_window_estimator.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_zipf.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_zipf.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measure.dir/measure/test_estimator.cpp.o"
+  "CMakeFiles/test_measure.dir/measure/test_estimator.cpp.o.d"
+  "CMakeFiles/test_measure.dir/measure/test_prober.cpp.o"
+  "CMakeFiles/test_measure.dir/measure/test_prober.cpp.o.d"
+  "CMakeFiles/test_measure.dir/measure/test_proxy.cpp.o"
+  "CMakeFiles/test_measure.dir/measure/test_proxy.cpp.o.d"
+  "CMakeFiles/test_measure.dir/measure/test_quorum.cpp.o"
+  "CMakeFiles/test_measure.dir/measure/test_quorum.cpp.o.d"
+  "test_measure"
+  "test_measure.pdb"
+  "test_measure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mencius.dir/mencius/test_mencius.cpp.o"
+  "CMakeFiles/test_mencius.dir/mencius/test_mencius.cpp.o.d"
+  "test_mencius"
+  "test_mencius.pdb"
+  "test_mencius[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mencius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

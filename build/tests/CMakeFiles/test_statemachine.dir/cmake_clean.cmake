@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_statemachine.dir/statemachine/test_kvstore.cpp.o"
+  "CMakeFiles/test_statemachine.dir/statemachine/test_kvstore.cpp.o.d"
+  "CMakeFiles/test_statemachine.dir/statemachine/test_workload.cpp.o"
+  "CMakeFiles/test_statemachine.dir/statemachine/test_workload.cpp.o.d"
+  "test_statemachine"
+  "test_statemachine.pdb"
+  "test_statemachine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_statemachine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp.dir/net/test_tcp.cpp.o"
+  "CMakeFiles/test_tcp.dir/net/test_tcp.cpp.o.d"
+  "CMakeFiles/test_tcp.dir/net/test_tcp_domino.cpp.o"
+  "CMakeFiles/test_tcp.dir/net/test_tcp_domino.cpp.o.d"
+  "test_tcp"
+  "test_tcp.pdb"
+  "test_tcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wire.dir/wire/test_codec.cpp.o"
+  "CMakeFiles/test_wire.dir/wire/test_codec.cpp.o.d"
+  "CMakeFiles/test_wire.dir/wire/test_codec_fuzz.cpp.o"
+  "CMakeFiles/test_wire.dir/wire/test_codec_fuzz.cpp.o.d"
+  "CMakeFiles/test_wire.dir/wire/test_messages.cpp.o"
+  "CMakeFiles/test_wire.dir/wire/test_messages.cpp.o.d"
+  "test_wire"
+  "test_wire.pdb"
+  "test_wire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
