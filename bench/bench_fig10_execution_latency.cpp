@@ -41,6 +41,12 @@ void run_alpha(double alpha, const char* name, const char* note) {
                                         {&dom.exec_ms, &men.exec_ms, &epx.exec_ms,
                                          &mp.exec_ms})
                   .c_str());
+  std::string json_path = "fig10_report_alpha";
+  json_path += alpha >= 0.95 ? "095" : "075";
+  json_path += ".json";
+  bench::emit_json_report(json_path, name,
+                          {{"Domino-8ms", &dom}, {"Mencius", &men}, {"EPaxos", &epx},
+                           {"Multi-Paxos", &mp}});
 }
 
 }  // namespace

@@ -14,7 +14,8 @@ namespace {
 
 using namespace domino;
 
-void run_setting(const char* name, harness::Scenario s, const char* paper_note) {
+void run_setting(const char* name, const char* json_path, harness::Scenario s,
+                 const char* paper_note) {
   s.rps = 200;
   s.warmup = seconds(2);
   s.measure = seconds(15);
@@ -45,6 +46,9 @@ void run_setting(const char* name, harness::Scenario s, const char* paper_note) 
                            dom.commit_ms.percentile(50) <= epx.commit_ms.percentile(50) &&
                            dom.commit_ms.percentile(50) <= mp.commit_ms.percentile(50);
   std::printf("Domino lowest median: %s\n", domino_wins ? "yes" : "NO");
+  bench::emit_json_report(json_path, name,
+                          {{"Domino", &dom}, {"Mencius", &men}, {"EPaxos", &epx},
+                           {"Multi-Paxos", &mp}});
 }
 
 }  // namespace
@@ -54,11 +58,11 @@ int main() {
   bench::print_header("Commit latency on the simulated Azure WAN",
                       "paper Figure 8 (a, b, c), Section 7.2.2");
 
-  run_setting("Figure 8(a): NA, 3 replicas", bench::na_scenario(3),
+  run_setting("Figure 8(a): NA, 3 replicas", "fig8a_report.json", bench::na_scenario(3),
               "paper medians: Domino 48, EPaxos 64, Mencius 75, Multi-Paxos 107 (ms)");
-  run_setting("Figure 8(b): NA, 5 replicas", bench::na_scenario(5),
+  run_setting("Figure 8(b): NA, 5 replicas", "fig8b_report.json", bench::na_scenario(5),
               "paper: Domino still lowest at median and p95");
-  run_setting("Figure 8(c): Globe, 3 replicas", bench::globe_scenario(),
+  run_setting("Figure 8(c): Globe, 3 replicas", "fig8c_report.json", bench::globe_scenario(),
               "paper: Domino ~86 ms lower than EPaxos at p95; Mencius heavy tail");
   return 0;
 }

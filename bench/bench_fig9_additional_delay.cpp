@@ -63,5 +63,7 @@ int main() {
               p50_d0, p95_d0, p95_d0 <= p50_d0 ? "yes" : "NO");
   std::printf("additional delay lowers p99 at p95 (0ms %.0f -> 8ms %.0f): %s\n", p95_d0,
               p95_d8, p95_d8 <= p95_d0 ? "yes" : "NO");
+  bench::emit_json_report("fig9_report.json", "Figure 9 baselines",
+                          {{"Mencius", &men}, {"EPaxos", &epx}, {"Multi-Paxos", &mp}});
   return 0;
 }

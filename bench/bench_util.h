@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "harness/report.h"
+#include "harness/run_report.h"
 #include "harness/runner.h"
+#include "obs/export.h"
 
 namespace domino::bench {
 
@@ -74,6 +76,49 @@ inline void print_header(const std::string& title, const std::string& paper_ref)
   std::printf("%s\n", title.c_str());
   std::printf("(reproduces %s)\n", paper_ref.c_str());
   std::printf("==========================================================\n");
+}
+
+/// One labelled result row for emit_json_report.
+struct NamedResult {
+  std::string label;
+  const harness::RunResult* result;
+};
+
+/// Emit a machine-readable summary of a bench run next to the human table:
+/// a JSON object mapping each label to the run's latency statistics and
+/// counters. Deterministic for deterministic inputs.
+inline void emit_json_report(const std::string& path, const std::string& figure,
+                             const std::vector<NamedResult>& results) {
+  std::string out = "{\n\"figure\":\"" + obs::json_escape(figure) + "\",\n\"results\":{";
+  bool first = true;
+  for (const NamedResult& nr : results) {
+    if (nr.result == nullptr) continue;
+    const harness::RunResult& r = *nr.result;
+    if (!first) out += ",";
+    first = false;
+    const harness::LatencyStats commit = harness::summarize_stats(r.commit_ms);
+    const harness::LatencyStats exec = harness::summarize_stats(r.exec_ms);
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"committed\":%llu,\"submitted\":%llu,\"fast_path\":%llu,"
+                  "\"slow_path\":%llu,\"throughput_rps\":%.3f,"
+                  "\"commit_ms\":{\"count\":%zu,\"mean\":%.6f,\"p50\":%.6f,"
+                  "\"p95\":%.6f,\"p99\":%.6f},"
+                  "\"exec_ms\":{\"count\":%zu,\"mean\":%.6f,\"p50\":%.6f,"
+                  "\"p95\":%.6f,\"p99\":%.6f}}",
+                  static_cast<unsigned long long>(r.committed),
+                  static_cast<unsigned long long>(r.submitted),
+                  static_cast<unsigned long long>(r.fast_path),
+                  static_cast<unsigned long long>(r.slow_path), r.throughput_rps(),
+                  commit.count, commit.mean, commit.p50, commit.p95, commit.p99,
+                  exec.count, exec.mean, exec.p50, exec.p95, exec.p99);
+    out += "\n\"" + obs::json_escape(nr.label) + "\":";
+    out += buf;
+  }
+  out += "\n}\n}\n";
+  if (obs::write_file(path, out)) {
+    std::printf("\n[json report written to %s]\n", path.c_str());
+  }
 }
 
 }  // namespace domino::bench

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "harness/report.h"
+#include "harness/run_report.h"
 #include "harness/runner.h"
 
 int main() {
@@ -42,5 +43,12 @@ int main() {
       static_cast<unsigned long long>(domino_result.slow_path),
       static_cast<unsigned long long>(domino_result.dfp_chosen),
       static_cast<unsigned long long>(domino_result.dm_chosen));
+
+  // Full observability report: latency summary, every metric (per-link
+  // delivery histograms, protocol counters), and the protocol event trace.
+  const auto report =
+      harness::make_report(harness::Protocol::kDomino, scenario, domino_result);
+  report.write("quickstart_report.json", /*include_trace=*/true);
+  std::printf("\n[run report written to quickstart_report.json]\n");
   return 0;
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 check: configure, build, and run the full test suite.
+#
+# Usage:
+#   scripts/check.sh              # plain RelWithDebInfo build + ctest
+#   scripts/check.sh --sanitize   # same, with ASan + UBSan (DOMINO_SANITIZE)
+#
+# The build directory is build/ (or build-asan/ with --sanitize) under the
+# repository root.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$root/build"
+cmake_args=()
+
+if [[ "${1:-}" == "--sanitize" ]]; then
+  build_dir="$root/build-asan"
+  cmake_args+=(-DDOMINO_SANITIZE=ON)
+  shift
+fi
+
+cmake -B "$build_dir" -S "$root" "${cmake_args[@]}"
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "$@"

@@ -10,7 +10,9 @@ Client::Client(NodeId id, std::size_t dc, net::Network& network,
       replicas_(std::move(replicas)),
       config_(config),
       prober_(*this, replicas_, config.prober),
-      proxy_feed_(*this) {}
+      proxy_feed_(*this) {
+  init_obs();
+}
 
 Client::Client(NodeId id, rpc::Context& context, std::vector<NodeId> replicas,
                ClientConfig config, sim::LocalClock clock)
@@ -18,7 +20,17 @@ Client::Client(NodeId id, rpc::Context& context, std::vector<NodeId> replicas,
       replicas_(std::move(replicas)),
       config_(config),
       prober_(*this, replicas_, config.prober),
-      proxy_feed_(*this) {}
+      proxy_feed_(*this) {
+  init_obs();
+}
+
+void Client::init_obs() {
+  const obs::Sink& sink = obs_sink();
+  obs_dfp_chosen_ = sink.counter("domino.client.dfp_chosen");
+  obs_dm_chosen_ = sink.counter("domino.client.dm_chosen");
+  obs_fast_learns_ = sink.counter("domino.client.fast_learns");
+  obs_slow_replies_ = sink.counter("domino.client.slow_replies");
+}
 
 void Client::start() {
   if (config_.proxy.valid()) {
@@ -93,10 +105,12 @@ void Client::propose(const sm::Command& command) {
   }
   if (use_dfp && est.dfp != Duration::max()) {
     ++dfp_chosen_;
+    obs_dfp_chosen_.inc();
     propose_dfp(command);
     return;
   }
   ++dm_chosen_;
+  obs_dm_chosen_.inc();
   propose_dm(command, est.dm_leader.valid() ? est.dm_leader : replicas_.front());
 }
 
@@ -148,6 +162,7 @@ void Client::on_packet(const net::Packet& packet) {
       if (++it->second.accepts >= measure::supermajority(replicas_.size())) {
         dfp_pending_.erase(it);
         ++dfp_fast_learns_;
+        obs_fast_learns_.inc();
         record_dfp_outcome(true);
         handle_committed(notice.command.id);
       }
@@ -157,6 +172,7 @@ void Client::on_packet(const net::Packet& packet) {
       const auto reply = wire::decode_message<DfpClientReply>(packet.payload);
       if (dfp_pending_.erase(reply.request) > 0) record_dfp_outcome(false);
       ++dfp_slow_replies_;
+      obs_slow_replies_.inc();
       handle_committed(reply.request);
       break;
     }

@@ -133,6 +133,12 @@ class Client : public rpc::ClientBase {
   std::uint64_t dm_chosen_ = 0;
   std::uint64_t dfp_fast_learns_ = 0;
   std::uint64_t dfp_slow_replies_ = 0;
+
+  void init_obs();
+  obs::CounterHandle obs_dfp_chosen_;
+  obs::CounterHandle obs_dm_chosen_;
+  obs::CounterHandle obs_fast_learns_;
+  obs::CounterHandle obs_slow_replies_;
 };
 
 }  // namespace domino::core

@@ -18,6 +18,7 @@ Replica::Replica(NodeId id, std::size_t dc, net::Network& network,
   const auto it = std::find(replicas_.begin(), replicas_.end(), id);
   if (it == replicas_.end()) throw std::invalid_argument("core::Replica: id not in set");
   rank_ = static_cast<std::size_t>(it - replicas_.begin());
+  init_obs();
 }
 
 Replica::Replica(NodeId id, rpc::Context& context, std::vector<NodeId> replicas,
@@ -32,6 +33,17 @@ Replica::Replica(NodeId id, rpc::Context& context, std::vector<NodeId> replicas,
   const auto it = std::find(replicas_.begin(), replicas_.end(), id);
   if (it == replicas_.end()) throw std::invalid_argument("core::Replica: id not in set");
   rank_ = static_cast<std::size_t>(it - replicas_.begin());
+  init_obs();
+}
+
+void Replica::init_obs() {
+  const obs::Sink& sink = obs_sink();
+  obs_dfp_fast_ = sink.counter("domino.dfp.fast_commits");
+  obs_dfp_slow_ = sink.counter("domino.dfp.slow_commits");
+  obs_dfp_noops_ = sink.counter("domino.dfp.noop_resolutions");
+  obs_dm_commits_ = sink.counter("domino.dm.commits");
+  obs_rerouted_ = sink.counter("domino.dfp.rerouted_via_dm");
+  obs_executed_ = sink.counter("domino.executed");
 }
 
 void Replica::start() {
@@ -348,6 +360,14 @@ void Replica::resolve_dfp(std::int64_t ts, bool is_noop, const sm::Command& comm
     dfp_committed_.insert(command.id);
     log_.commit(lp, command);
     was_fast ? ++dfp_fast_commits_ : ++dfp_slow_commits_;
+    was_fast ? obs_dfp_fast_.inc() : obs_dfp_slow_.inc();
+    if (was_fast && obs_sink().tracing()) {
+      obs_sink().record(obs::TraceEvent{.at = true_now(),
+                                        .kind = obs::EventKind::kFastAccept,
+                                        .node = id(),
+                                        .request = command.id,
+                                        .value = ts});
+    }
     DfpCommit msg{ts, false, command};
     for (NodeId r : replicas_) {
       if (r != id()) send(r, msg);
@@ -355,6 +375,7 @@ void Replica::resolve_dfp(std::int64_t ts, bool is_noop, const sm::Command& comm
     if (!was_fast) send(command.id.client, DfpClientReply{command.id});
   } else {
     ++dfp_noop_resolutions_;
+    obs_dfp_noops_.inc();
     log_.resolve_as_noop(lp);
     log_.advance_watermark(dfp_lane(), ts + 1);
     DfpCommit msg{ts, true, {}};
@@ -375,6 +396,13 @@ void Replica::resolve_dfp(std::int64_t ts, bool is_noop, const sm::Command& comm
 void Replica::reroute_via_dm(const sm::Command& command) {
   if (dfp_committed_.contains(command.id)) return;   // already committed via DFP
   if (!rerouted_.insert(command.id).second) return;  // already re-proposed
+  obs_rerouted_.inc();
+  if (obs_sink().tracing()) {
+    obs_sink().record(obs::TraceEvent{.at = true_now(),
+                                      .kind = obs::EventKind::kCoordinatorFallback,
+                                      .node = id(),
+                                      .request = command.id});
+  }
   dm_lead(command, /*reply_via_dfp=*/true);
 }
 
@@ -455,6 +483,7 @@ void Replica::maybe_commit_dm(std::int64_t ts) {
 
   log_.commit(log::LogPosition{ts, static_cast<std::uint32_t>(rank_)});
   ++dm_commits_;
+  obs_dm_commits_.inc();
   DmCommit msg{ts, static_cast<std::uint32_t>(rank_)};
   for (NodeId r : replicas_) {
     if (r != id()) send(r, msg);
@@ -666,6 +695,7 @@ void Replica::try_finalize_dfp_range() {
     resolve.entries.push_back(RangeEntryWire{ts, cmd});
     if (dfp_committed_.insert(cmd.id).second) {
       ++dfp_slow_commits_;
+      obs_dfp_slow_.inc();
       // The client may not have reached a supermajority on its own; tell it
       // (duplicate notifications are deduplicated client-side).
       send(cmd.id.client, DfpClientReply{cmd.id});
@@ -756,8 +786,15 @@ void Replica::broadcast_heartbeat() {
 
 void Replica::execute_ready() {
   for (auto& [pos, command] : log_.drain_executable()) {
-    (void)pos;
     store_.apply(command);
+    obs_executed_.inc();
+    if (obs_sink().tracing()) {
+      obs_sink().record(obs::TraceEvent{.at = true_now(),
+                                        .kind = obs::EventKind::kExecute,
+                                        .node = id(),
+                                        .request = command.id,
+                                        .value = pos.ts});
+    }
     if (exec_hook_) exec_hook_(command.id, true_now());
   }
 }

@@ -204,6 +204,17 @@ class Replica : public rpc::Node {
   std::uint64_t dfp_slow_commits_ = 0;
   std::uint64_t dfp_noop_resolutions_ = 0;
   std::uint64_t dm_commits_ = 0;
+
+  // Observability handles (mirror the counters above; see bind order in
+  // harness::Env — the sink must be bound to the network before replicas
+  // are constructed).
+  void init_obs();
+  obs::CounterHandle obs_dfp_fast_;
+  obs::CounterHandle obs_dfp_slow_;
+  obs::CounterHandle obs_dfp_noops_;
+  obs::CounterHandle obs_dm_commits_;
+  obs::CounterHandle obs_rerouted_;
+  obs::CounterHandle obs_executed_;
 };
 
 }  // namespace domino::core

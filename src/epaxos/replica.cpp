@@ -30,6 +30,11 @@ Replica::Replica(NodeId id, std::size_t dc, net::Network& network,
   if (std::find(replicas_.begin(), replicas_.end(), id) == replicas_.end()) {
     throw std::invalid_argument("epaxos::Replica: id not in replica set");
   }
+  obs_preaccepts_ = obs_sink().counter("epaxos.preaccepts");
+  obs_fast_ = obs_sink().counter("epaxos.fast_commits");
+  obs_slow_ = obs_sink().counter("epaxos.slow_commits");
+  obs_committed_ = obs_sink().counter("epaxos.committed");
+  obs_executed_ = obs_sink().counter("epaxos.executed");
 }
 
 void Replica::on_packet(const net::Packet& packet) {
@@ -97,6 +102,7 @@ void Replica::handle_preaccept(NodeId from, const wire::Payload& payload) {
     deps = merge_deps(std::move(deps), {it->second.first});
   }
   key_table_[msg.command.key] = {msg.instance, seq};
+  obs_preaccepts_.inc();
   // A commit may already have arrived on another channel; never downgrade.
   auto inst_it = instances_.find(msg.instance);
   if (inst_it == instances_.end() || inst_it->second.status == Status::kPreAccepted) {
@@ -126,6 +132,13 @@ void Replica::handle_preaccept_reply(const wire::Payload& payload) {
   if (!book.attributes_changed) {
     // Fast path: one round trip.
     ++fast_commits_;
+    obs_fast_.inc();
+    if (obs_sink().tracing()) {
+      obs_sink().record(obs::TraceEvent{.at = true_now(),
+                                        .kind = obs::EventKind::kFastAccept,
+                                        .node = id(),
+                                        .request = inst.command.id});
+    }
     commit_instance(msg.instance, inst.command, book.seq, book.deps, /*broadcast=*/true);
     send(book.client, ClientReply{inst.command.id});
     leading_.erase(book_it);
@@ -170,6 +183,7 @@ void Replica::handle_accept_reply(const wire::Payload& payload) {
   auto inst_it = instances_.find(msg.instance);
   if (inst_it == instances_.end()) return;
   ++slow_commits_;
+  obs_slow_.inc();
   commit_instance(msg.instance, inst_it->second.command, book.seq, book.deps,
                   /*broadcast=*/true);
   send(book.client, ClientReply{inst_it->second.command.id});
@@ -195,6 +209,7 @@ void Replica::commit_instance(const InstanceId& inst_id, const sm::Command& cmd,
     it->second.status = Status::kCommitted;
   }
   ++committed_;
+  obs_committed_.inc();
   if (broadcast) {
     Commit msg{inst_id, cmd, seq, deps};
     for (NodeId r : replicas_) {
@@ -303,6 +318,7 @@ void Replica::execute_scc_from(const InstanceId& root) {
       if (inst.status == Status::kExecuted) continue;
       inst.status = Status::kExecuted;
       ++executed_;
+      obs_executed_.inc();
       store_.apply(inst.command);
       if (exec_hook_) exec_hook_(inst.command.id, true_now());
     }

@@ -107,6 +107,12 @@ class Replica : public rpc::Node {
   std::uint64_t executed_ = 0;
   std::uint64_t fast_commits_ = 0;
   std::uint64_t slow_commits_ = 0;
+
+  obs::CounterHandle obs_preaccepts_;
+  obs::CounterHandle obs_fast_;
+  obs::CounterHandle obs_slow_;
+  obs::CounterHandle obs_committed_;
+  obs::CounterHandle obs_executed_;
 };
 
 }  // namespace domino::epaxos

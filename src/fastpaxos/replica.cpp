@@ -15,6 +15,10 @@ Replica::Replica(NodeId id, std::size_t dc, net::Network& network,
   if (std::find(replicas_.begin(), replicas_.end(), id) == replicas_.end()) {
     throw std::invalid_argument("fastpaxos::Replica: id not in replica set");
   }
+  obs_accepts_ = obs_sink().counter("fastpaxos.accepts");
+  obs_fast_ = obs_sink().counter("fastpaxos.fast_commits");
+  obs_slow_ = obs_sink().counter("fastpaxos.slow_commits");
+  obs_executed_ = obs_sink().counter("fastpaxos.executed");
 }
 
 void Replica::on_packet(const net::Packet& packet) {
@@ -63,6 +67,7 @@ void Replica::handle_client_request(const net::Packet& packet) {
 
   const std::uint64_t index = next_index_++;
   log_.accept(index, req.command);
+  obs_accepts_.inc();
   assignment_[rid] = index;
 
   const AcceptNotice notice{index, req.command};
@@ -215,8 +220,17 @@ void Replica::finish_commit(std::uint64_t index, bool is_noop, const sm::Command
   tally.resolved = true;
   if (was_fast) {
     ++fast_commits_;
+    obs_fast_.inc();
+    if (obs_sink().tracing()) {
+      obs_sink().record(obs::TraceEvent{.at = true_now(),
+                                        .kind = obs::EventKind::kFastAccept,
+                                        .node = id(),
+                                        .request = command.id,
+                                        .value = static_cast<std::int64_t>(index)});
+    }
   } else {
     ++slow_commits_;
+    obs_slow_.inc();
   }
 
   std::optional<RequestId> winner;
@@ -260,6 +274,7 @@ void Replica::execute_ready() {
   for (auto& [index, command] : log_.drain_executable()) {
     (void)index;
     store_.apply(command);
+    obs_executed_.inc();
     if (exec_hook_) exec_hook_(command.id, true_now());
   }
 }

@@ -93,6 +93,11 @@ class Replica : public rpc::Node {
   std::unordered_set<RequestId> recovery_chosen_;
   std::uint64_t fast_commits_ = 0;
   std::uint64_t slow_commits_ = 0;
+
+  obs::CounterHandle obs_accepts_;
+  obs::CounterHandle obs_fast_;
+  obs::CounterHandle obs_slow_;
+  obs::CounterHandle obs_executed_;
 };
 
 }  // namespace domino::fastpaxos

@@ -25,4 +25,26 @@ void LatencyCollector::on_execute(const RequestId& id, TimePoint at) {
   exec_.add((at - it->second).millis());
 }
 
+LatencyStats summarize_stats(const StatAccumulator& acc) {
+  LatencyStats s;
+  s.count = acc.count();
+  if (acc.empty()) return s;
+  s.mean = acc.mean();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.p50 = acc.percentile(50);
+  s.p95 = acc.percentile(95);
+  s.p99 = acc.percentile(99);
+  return s;
+}
+
+LatencySummary LatencyCollector::summarize() const {
+  LatencySummary s;
+  s.commit_ms = summarize_stats(commit_);
+  s.exec_ms = summarize_stats(exec_);
+  s.tracked = tracked_;
+  s.committed = committed_;
+  return s;
+}
+
 }  // namespace domino::harness

@@ -19,6 +19,28 @@
 
 namespace domino::harness {
 
+/// Order statistics of one latency series, in milliseconds.
+struct LatencyStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Condensed view of a collector — the single source of truth the
+/// RunReport exporter and the bench tables both read from.
+struct LatencySummary {
+  LatencyStats commit_ms;
+  LatencyStats exec_ms;
+  std::size_t tracked = 0;
+  std::size_t committed = 0;
+};
+
+[[nodiscard]] LatencyStats summarize_stats(const StatAccumulator& acc);
+
 class LatencyCollector {
  public:
   LatencyCollector(TimePoint window_start, TimePoint window_end, std::size_t client_count)
@@ -43,6 +65,9 @@ class LatencyCollector {
   }
   [[nodiscard]] std::size_t tracked_count() const { return tracked_; }
   [[nodiscard]] std::size_t committed_count() const { return committed_; }
+
+  /// Snapshot the order statistics of everything collected so far.
+  [[nodiscard]] LatencySummary summarize() const;
 
  private:
   TimePoint window_start_;

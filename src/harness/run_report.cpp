@@ -1,0 +1,123 @@
+#include "harness/run_report.h"
+
+#include <cstdio>
+
+#include "obs/export.h"
+
+namespace domino::harness {
+
+namespace {
+
+void append_f(std::string& out, const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  out += buf;
+}
+
+void append_u(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_latency_stats(std::string& out, const LatencyStats& s) {
+  out += "{\"count\":";
+  append_u(out, s.count);
+  out += ",\"mean\":";
+  append_f(out, "%.6f", s.mean);
+  out += ",\"min\":";
+  append_f(out, "%.6f", s.min);
+  out += ",\"max\":";
+  append_f(out, "%.6f", s.max);
+  out += ",\"p50\":";
+  append_f(out, "%.6f", s.p50);
+  out += ",\"p95\":";
+  append_f(out, "%.6f", s.p95);
+  out += ",\"p99\":";
+  append_f(out, "%.6f", s.p99);
+  out += "}";
+}
+
+}  // namespace
+
+std::string RunReport::to_json(bool include_trace) const {
+  std::string out = "{\n";
+  out += "\"protocol\":\"" + obs::json_escape(protocol) + "\",\n";
+  out += "\"seed\":";
+  append_u(out, seed);
+  out += ",\n\"replicas\":";
+  append_u(out, replicas);
+  out += ",\n\"clients\":";
+  append_u(out, clients);
+  out += ",\n\"rps_per_client\":";
+  append_f(out, "%.3f", rps);
+  out += ",\n\"warmup_ms\":";
+  append_f(out, "%.3f", warmup.millis());
+  out += ",\n\"measure_ms\":";
+  append_f(out, "%.3f", measure.millis());
+  out += ",\n\"submitted\":";
+  append_u(out, submitted);
+  out += ",\n\"committed\":";
+  append_u(out, committed);
+  out += ",\n\"throughput_rps\":";
+  append_f(out, "%.3f", throughput_rps);
+  out += ",\n\"fast_path\":";
+  append_u(out, fast_path);
+  out += ",\n\"slow_path\":";
+  append_u(out, slow_path);
+  out += ",\n\"packets_sent\":";
+  append_u(out, packets_sent);
+  out += ",\n\"bytes_sent\":";
+  append_u(out, bytes_sent);
+  out += ",\n\"latency\":{\"commit_ms\":";
+  append_latency_stats(out, latency.commit_ms);
+  out += ",\"exec_ms\":";
+  append_latency_stats(out, latency.exec_ms);
+  out += ",\"tracked\":";
+  append_u(out, latency.tracked);
+  out += ",\"committed\":";
+  append_u(out, latency.committed);
+  out += "}";
+  if (metrics != nullptr) {
+    out += ",\n\"metrics\":" + obs::metrics_to_json(*metrics);
+  }
+  if (trace != nullptr) {
+    out += ",\n\"trace_events_recorded\":";
+    append_u(out, trace->total_recorded());
+    out += ",\n\"trace_events_retained\":";
+    append_u(out, trace->size());
+    if (include_trace) {
+      out += ",\n\"trace\":" + obs::trace_to_json(*trace);
+    }
+  }
+  out += "\n}\n";
+  return out;
+}
+
+void RunReport::write(const std::string& path, bool include_trace) const {
+  obs::write_file(path, to_json(include_trace));
+}
+
+RunReport make_report(Protocol protocol, const Scenario& scenario, const RunResult& result) {
+  RunReport r;
+  r.protocol = protocol_name(protocol);
+  r.seed = scenario.seed;
+  r.replicas = scenario.replica_dcs.size();
+  r.clients = scenario.client_dcs.size();
+  r.rps = scenario.rps;
+  r.warmup = scenario.warmup;
+  r.measure = scenario.measure;
+  r.submitted = result.submitted;
+  r.committed = result.committed;
+  r.throughput_rps = result.throughput_rps();
+  r.fast_path = result.fast_path;
+  r.slow_path = result.slow_path;
+  r.packets_sent = result.packets_sent;
+  r.bytes_sent = result.bytes_sent;
+  r.latency = result.latency;
+  r.metrics = result.metrics;
+  r.trace = result.trace;
+  return r;
+}
+
+}  // namespace domino::harness

@@ -1,0 +1,49 @@
+// Per-run report: one JSON document tying together the scenario, the
+// latency summary (from the LatencyCollector), the full metrics registry
+// and the protocol event trace. Deterministic: same seed, same protocol,
+// same scenario => byte-identical report (all timestamps are virtual, all
+// maps iterate in name order).
+#pragma once
+
+#include <string>
+
+#include "harness/runner.h"
+
+namespace domino::harness {
+
+struct RunReport {
+  std::string protocol;
+  std::uint64_t seed = 0;
+  std::size_t replicas = 0;
+  std::size_t clients = 0;
+  double rps = 0.0;
+  Duration warmup = Duration::zero();
+  Duration measure = Duration::zero();
+
+  std::uint64_t submitted = 0;
+  std::uint64_t committed = 0;
+  double throughput_rps = 0.0;
+  std::uint64_t fast_path = 0;
+  std::uint64_t slow_path = 0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t bytes_sent = 0;
+
+  LatencySummary latency;
+
+  // Borrowed from the RunResult; may be null (observability disabled).
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  std::shared_ptr<obs::TraceRecorder> trace;
+
+  /// Render the whole report as a JSON document. The trace is included as
+  /// text lines when `include_trace` is set (it can be large).
+  [[nodiscard]] std::string to_json(bool include_trace = false) const;
+
+  /// Write to_json(include_trace) to `path`.
+  void write(const std::string& path, bool include_trace = false) const;
+};
+
+/// Assemble a report from a finished run.
+[[nodiscard]] RunReport make_report(Protocol protocol, const Scenario& scenario,
+                                    const RunResult& result);
+
+}  // namespace domino::harness

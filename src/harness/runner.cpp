@@ -13,6 +13,7 @@
 #include "mencius/client.h"
 #include "mencius/replica.h"
 #include "net/network.h"
+#include "obs/sink.h"
 #include "paxos/client.h"
 #include "paxos/replica.h"
 #include "sim/simulator.h"
@@ -68,6 +69,13 @@ struct Env {
       throw std::invalid_argument("Scenario: bad leader index");
     }
     network.use_default_links(s.jitter);
+    if (s.observability) {
+      metrics = std::make_shared<obs::MetricsRegistry>();
+      trace = std::make_shared<obs::TraceRecorder>(s.trace_capacity);
+      const obs::Sink sink{metrics.get(), trace.get()};
+      simulator.bind_obs(sink);
+      network.bind_obs(sink);  // nodes pick the sink up at construction
+    }
   }
 
   sim::LocalClock next_clock() {
@@ -123,9 +131,16 @@ struct Env {
     result.packets_sent = network.packets_sent();
     result.bytes_sent = network.bytes_sent();
     result.measure_window = scenario.measure;
+    result.latency = collector.summarize();
+    result.metrics = metrics;
+    result.trace = trace;
   }
 
   const Scenario& scenario;
+  // Declared before the simulator/network/nodes so every obs handle stays
+  // valid for the users' whole lifetime (members destroy in reverse order).
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  std::shared_ptr<obs::TraceRecorder> trace;
   sim::Simulator simulator;
   net::Network network;
   Rng clock_rng;

@@ -8,13 +8,17 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/stats.h"
 #include "core/client.h"
+#include "harness/collector.h"
 #include "net/latency_model.h"
 #include "net/topology.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "statemachine/workload.h"
 
 namespace domino::harness {
@@ -56,6 +60,13 @@ struct Scenario {
   // Capacity model (Figure 13 throughput runs); zero = infinitely fast.
   Duration replica_service_time = Duration::zero();
   double node_egress_bps = 0.0;
+
+  /// When true (default), the run records metrics and protocol events into
+  /// RunResult::metrics / RunResult::trace. Disabling reduces every
+  /// instrumentation site to one null-pointer branch.
+  bool observability = true;
+  /// Trace ring capacity (events); older events are overwritten.
+  std::size_t trace_capacity = obs::TraceRecorder::kDefaultCapacity;
 };
 
 struct RunResult {
@@ -77,6 +88,15 @@ struct RunResult {
   /// Committed requests per second of measurement window.
   [[nodiscard]] double throughput_rps() const;
   Duration measure_window = Duration::zero();
+
+  /// Latency order statistics from the collector (single source of truth
+  /// for reports and bench tables).
+  LatencySummary latency;
+
+  /// Full metrics registry and protocol event trace for the run; null when
+  /// Scenario::observability is false.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  std::shared_ptr<obs::TraceRecorder> trace;
 };
 
 enum class Protocol { kMultiPaxos, kMencius, kEPaxos, kFastPaxos, kDomino };

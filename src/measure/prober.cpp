@@ -5,6 +5,8 @@ namespace domino::measure {
 Prober::Prober(rpc::Node& owner, std::vector<NodeId> targets, ProberConfig config)
     : owner_(owner), targets_(std::move(targets)), config_(config) {
   for (NodeId t : targets_) state_.emplace(t, TargetState{config_.window});
+  obs_probes_sent_ = owner_.obs_sink().counter("measure.probes_sent");
+  obs_probe_replies_ = owner_.obs_sink().counter("measure.probe_replies");
 }
 
 void Prober::start() {
@@ -25,6 +27,14 @@ void Prober::send_probes() {
     p.sender_local_time = owner_.local_now();
     owner_.send(t, p);
     ++probes_sent_;
+    obs_probes_sent_.inc();
+    if (owner_.obs_sink().tracing()) {
+      owner_.obs_sink().record(obs::TraceEvent{.at = owner_.true_now(),
+                                               .kind = obs::EventKind::kProbeSend,
+                                               .node = owner_.id(),
+                                               .peer = t,
+                                               .value = static_cast<std::int64_t>(seq)});
+    }
   }
 }
 
@@ -38,6 +48,15 @@ void Prober::on_probe_reply(NodeId from, const ProbeReply& reply) {
   ts.replication_latency = reply.replication_latency;
   ts.last_reply_true_time = owner_.true_now();
   ts.ever_replied = true;
+  obs_probe_replies_.inc();
+  if (owner_.obs_sink().tracing()) {
+    owner_.obs_sink().record(
+        obs::TraceEvent{.at = owner_.true_now(),
+                        .kind = obs::EventKind::kProbeRecv,
+                        .node = owner_.id(),
+                        .peer = from,
+                        .value = (local_now - reply.echo_sender_local_time).nanos()});
+  }
 }
 
 ProbeReply Prober::make_reply(const Probe& probe, TimePoint replica_local_now,

@@ -94,6 +94,8 @@ class Prober final : public LatencyView {
   rpc::Node& owner_;
   std::vector<NodeId> targets_;
   ProberConfig config_;
+  obs::CounterHandle obs_probes_sent_;
+  obs::CounterHandle obs_probe_replies_;
   std::unordered_map<NodeId, TargetState> state_;
   rpc::RepeatingTimer timer_;
   TimePoint started_;

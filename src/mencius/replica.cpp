@@ -18,6 +18,11 @@ Replica::Replica(NodeId id, std::size_t dc, net::Network& network,
   if (it == replicas_.end()) throw std::invalid_argument("mencius::Replica: id not in set");
   rank_ = static_cast<std::size_t>(it - replicas_.begin());
   next_own_index_ = rank_;
+  obs_proposals_ = obs_sink().counter("mencius.proposals");
+  obs_accepts_ = obs_sink().counter("mencius.accepts");
+  obs_commits_ = obs_sink().counter("mencius.commits");
+  obs_skips_ = obs_sink().counter("mencius.skips");
+  obs_executed_ = obs_sink().counter("mencius.executed");
 }
 
 void Replica::start() {
@@ -59,6 +64,7 @@ void Replica::handle_client_request(const net::Packet& packet) {
   const std::uint64_t p = next_own_index_;
   next_own_index_ = p + replicas_.size();
   ++owned_proposals_;
+  obs_proposals_.inc();
 
   log_.accept(p, req.command);
   pending_.emplace(p, Pending{1, req.command.id.client, false});
@@ -75,6 +81,7 @@ void Replica::handle_accept(NodeId from, const wire::Payload& payload) {
   const std::size_t owner = owner_of(msg.index);
   apply_skip_frontier(owner, msg.skip_through);
   log_.accept(msg.index, msg.command);
+  obs_accepts_.inc();
   // Receiving a proposal for index p implicitly promises to never use our
   // own unused instances below p.
   advance_own_lane(msg.index);
@@ -94,6 +101,7 @@ void Replica::handle_accept_reply(NodeId from, const wire::Payload& payload) {
     if (++it->second.acks >= measure::majority(replicas_.size())) {
       it->second.committed = true;
       log_.commit(msg.index);
+      obs_commits_.inc();
       for (NodeId r : replicas_) {
         if (r != id()) send(r, Commit{msg.index});
       }
@@ -127,7 +135,10 @@ void Replica::apply_skip_frontier(std::size_t owner_rank, std::uint64_t frontier
   // so the empty ones are no-ops.
   for (std::uint64_t idx = next_owned_at_or_after(owner_rank, seen); idx < frontier;
        idx += replicas_.size()) {
-    if (log_.entry(idx) == nullptr) log_.skip(idx, idx);
+    if (log_.entry(idx) == nullptr) {
+      log_.skip(idx, idx);
+      obs_skips_.inc();
+    }
   }
   seen = frontier;
 }
@@ -142,6 +153,7 @@ void Replica::advance_own_lane(std::uint64_t index) {
 void Replica::execute_ready() {
   for (auto& [index, command] : log_.drain_executable()) {
     store_.apply(command);
+    obs_executed_.inc();
     if (exec_hook_) exec_hook_(command.id, true_now());
     const auto it = owned_request_.find(index);
     if (it != owned_request_.end()) {

@@ -88,6 +88,12 @@ class Replica : public rpc::Node {
   std::map<std::uint64_t, Pending> pending_;  // ordered: commit in index order
   std::unordered_map<std::uint64_t, RequestId> owned_request_;  // index -> request id
   std::uint64_t owned_proposals_ = 0;
+
+  obs::CounterHandle obs_proposals_;
+  obs::CounterHandle obs_accepts_;
+  obs::CounterHandle obs_commits_;
+  obs::CounterHandle obs_skips_;
+  obs::CounterHandle obs_executed_;
 };
 
 }  // namespace domino::mencius

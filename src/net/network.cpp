@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "wire/message.h"
+
 namespace domino::net {
 
 Network::Network(sim::Simulator& simulator, Topology topology, std::uint64_t seed)
@@ -51,6 +53,34 @@ LatencyModel& Network::link_model(std::size_t from_dc, std::size_t to_dc) {
   return *links_[from_dc][to_dc];
 }
 
+void Network::bind_obs(const obs::Sink& sink) {
+  obs_ = sink;
+  obs_dropped_ = sink.counter("net.packets_dropped");
+  const std::size_t n = topology_.size();
+  link_obs_.assign(n, std::vector<LinkObs>(n));
+  if (sink.metrics == nullptr) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::string link = "net.link." + topology_.name(i) + "->" + topology_.name(j);
+      link_obs_[i][j].messages = sink.counter(link + ".messages");
+      link_obs_[i][j].bytes = sink.counter(link + ".bytes");
+      link_obs_[i][j].delay_ns = sink.histogram(link + ".delay_ns");
+    }
+  }
+}
+
+void Network::count_drop(NodeId src, NodeId dst, std::size_t bytes) {
+  ++packets_dropped_;
+  obs_dropped_.inc();
+  if (obs_.tracing()) {
+    obs_.record(obs::TraceEvent{.at = sim_.now(),
+                                .kind = obs::EventKind::kMessageDrop,
+                                .node = src,
+                                .peer = dst,
+                                .value = static_cast<std::int64_t>(bytes)});
+  }
+}
+
 void Network::register_node(NodeId id, std::size_t dc, Receiver receiver) {
   if (dc >= topology_.size()) throw std::out_of_range("Network::register_node: bad dc");
   if (nodes_.contains(id)) throw std::invalid_argument("Network: duplicate node id");
@@ -85,13 +115,13 @@ void Network::set_egress_bandwidth_bps(NodeId id, double bits_per_second) {
 void Network::send(NodeId src, NodeId dst, wire::Payload payload) {
   NodeInfo& s = info(src);
   NodeInfo& d = info(dst);
+  const std::size_t bytes = payload.size() + kFrameOverheadBytes;
   if (crashed_.contains(src) || crashed_.contains(dst)) {
-    ++packets_dropped_;
+    count_drop(src, dst, bytes);
     return;
   }
 
   const TimePoint now = sim_.now();
-  const std::size_t bytes = payload.size() + kFrameOverheadBytes;
   ++packets_sent_;
   bytes_sent_ += bytes;
 
@@ -122,11 +152,40 @@ void Network::send(NodeId src, NodeId dst, wire::Payload payload) {
     d.rx_busy_until = deliver_at;
   }
 
+  if (obs_.active()) {
+    if (!link_obs_.empty()) {
+      LinkObs& lo = link_obs_[s.dc][d.dc];
+      lo.messages.inc();
+      lo.bytes.inc(bytes);
+      lo.delay_ns.record(deliver_at - now);
+    }
+    if (obs_.tracing()) {
+      obs_.record(obs::TraceEvent{
+          .at = now,
+          .kind = obs::EventKind::kMessageSend,
+          .node = src,
+          .peer = dst,
+          .msg_type = static_cast<std::uint16_t>(wire::peek_type(payload)),
+          .value = static_cast<std::int64_t>(bytes)});
+    }
+  }
+
   sim_.schedule_at(deliver_at,
-                   [this, pkt = Packet{src, dst, now, std::move(payload)}, dst]() mutable {
+                   [this, pkt = Packet{src, dst, now, std::move(payload)}, dst,
+                    bytes]() mutable {
                      if (crashed_.contains(dst) || crashed_.contains(pkt.src)) {
-                       ++packets_dropped_;
+                       count_drop(pkt.src, dst, bytes);
                        return;
+                     }
+                     if (obs_.tracing()) {
+                       obs_.record(obs::TraceEvent{
+                           .at = sim_.now(),
+                           .kind = obs::EventKind::kMessageDeliver,
+                           .node = dst,
+                           .peer = pkt.src,
+                           .msg_type =
+                               static_cast<std::uint16_t>(wire::peek_type(pkt.payload)),
+                           .value = (sim_.now() - pkt.sent_at).nanos()});
                      }
                      auto it = nodes_.find(dst);
                      if (it != nodes_.end() && it->second.receiver) {

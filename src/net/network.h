@@ -26,6 +26,7 @@
 #include "net/latency_model.h"
 #include "net/packet.h"
 #include "net/topology.h"
+#include "obs/sink.h"
 #include "sim/simulator.h"
 #include "wire/codec.h"
 
@@ -76,6 +77,14 @@ class Network {
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
   [[nodiscard]] std::uint64_t packets_dropped() const { return packets_dropped_; }
 
+  /// Attach an observability sink. Registers per-directed-datacenter-link
+  /// message/byte counters and delivery-delay histograms, traces every
+  /// packet send/deliver/drop, and is inherited by nodes constructed over
+  /// this network (rpc::SimContext forwards it). Bind before registering
+  /// nodes so their handles resolve.
+  void bind_obs(const obs::Sink& sink);
+  [[nodiscard]] const obs::Sink& obs_sink() const { return obs_; }
+
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
  private:
@@ -96,8 +105,15 @@ class Network {
     }
   };
 
+  struct LinkObs {
+    obs::CounterHandle messages;
+    obs::CounterHandle bytes;
+    obs::HistogramHandle delay_ns;
+  };
+
   NodeInfo& info(NodeId id);
   [[nodiscard]] const NodeInfo& info(NodeId id) const;
+  void count_drop(NodeId src, NodeId dst, std::size_t bytes);
 
   sim::Simulator& sim_;
   Topology topology_;
@@ -111,6 +127,10 @@ class Network {
   std::uint64_t packets_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t packets_dropped_ = 0;
+
+  obs::Sink obs_;
+  std::vector<std::vector<LinkObs>> link_obs_;  // [from_dc][to_dc]
+  obs::CounterHandle obs_dropped_;
 };
 
 }  // namespace domino::net

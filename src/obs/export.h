@@ -1,0 +1,35 @@
+// Deterministic serialization of observability data.
+//
+// All output is byte-stable for a given run: metrics iterate in name order,
+// trace events in recording order, and numbers are formatted with fixed
+// printf conversions (no locale, no pointer values, no wall clock).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace domino::obs {
+
+/// {"counters":{...},"gauges":{...},"histograms":{...}}
+[[nodiscard]] std::string metrics_to_json(const MetricsRegistry& registry);
+
+/// One row per scalar: kind,name,field,value. Histograms emit count, min,
+/// max, mean and the standard percentiles.
+[[nodiscard]] std::string metrics_to_csv(const MetricsRegistry& registry);
+
+/// One line per retained event, oldest first.
+[[nodiscard]] std::string trace_to_text(const TraceRecorder& trace);
+
+/// JSON array of event objects, oldest first.
+[[nodiscard]] std::string trace_to_json(const TraceRecorder& trace);
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Write `content` to `path`; returns false on I/O failure.
+bool write_file(const std::string& path, std::string_view content);
+
+}  // namespace domino::obs

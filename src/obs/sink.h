@@ -1,0 +1,39 @@
+// The wiring point between instrumented code and the observability layer.
+//
+// A Sink is a pair of optional destinations (metrics registry, trace
+// recorder). Instrumented components copy the sink once at construction /
+// bind time, create metric handles through it, and guard trace emission on
+// `tracing()`. A default-constructed Sink disables everything at the cost
+// of one branch per instrumentation point.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace domino::obs {
+
+struct Sink {
+  MetricsRegistry* metrics = nullptr;
+  TraceRecorder* trace = nullptr;
+
+  [[nodiscard]] bool active() const { return metrics != nullptr || trace != nullptr; }
+  [[nodiscard]] bool tracing() const { return trace != nullptr; }
+
+  /// Handle factories: null handles when the registry is disabled.
+  [[nodiscard]] CounterHandle counter(std::string_view name) const {
+    return metrics != nullptr ? CounterHandle{&metrics->counter(name)} : CounterHandle{};
+  }
+  [[nodiscard]] GaugeHandle gauge(std::string_view name) const {
+    return metrics != nullptr ? GaugeHandle{&metrics->gauge(name)} : GaugeHandle{};
+  }
+  [[nodiscard]] HistogramHandle histogram(std::string_view name) const {
+    return metrics != nullptr ? HistogramHandle{&metrics->histogram(name)}
+                              : HistogramHandle{};
+  }
+
+  void record(const TraceEvent& event) const {
+    if (trace != nullptr) trace->record(event);
+  }
+};
+
+}  // namespace domino::obs

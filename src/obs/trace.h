@@ -1,0 +1,73 @@
+// Structured protocol event tracing.
+//
+// A TraceRecorder captures fixed-size events into a preallocated ring
+// buffer. Timestamps are virtual time only (never a wall clock), and events
+// are recorded in simulator execution order, so two runs with the same seed
+// produce byte-identical trace output — the property the evaluation harness
+// relies on to diff runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace domino::obs {
+
+/// The protocol event taxonomy (see DESIGN.md "Observability").
+enum class EventKind : std::uint8_t {
+  kRequestSubmit,        // client submits a command
+  kFastAccept,           // DFP / fast-quorum fast-path resolution
+  kCoordinatorFallback,  // request rerouted through the slow path (DM)
+  kCommit,               // client learns a request committed
+  kExecute,              // replica executes a command
+  kProbeSend,            // measurement probe sent
+  kProbeRecv,            // measurement probe reply received
+  kMessageSend,          // transport accepted a packet
+  kMessageDeliver,       // transport delivered a packet
+  kMessageDrop,          // transport dropped a packet (crash, ...)
+};
+
+[[nodiscard]] const char* event_kind_name(EventKind kind);
+
+struct TraceEvent {
+  TimePoint at;                       // virtual (true) time
+  EventKind kind = EventKind::kMessageSend;
+  NodeId node;                        // acting node
+  NodeId peer = NodeId::invalid();    // counterpart, if any
+  RequestId request{NodeId::invalid(), 0};  // subject request, if any
+  std::uint16_t msg_type = 0;         // wire::MessageType tag, 0 if n/a
+  std::int64_t value = 0;             // kind-specific (bytes, delay ns, ts)
+};
+
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit TraceRecorder(std::size_t capacity = kDefaultCapacity);
+
+  /// O(1); once the ring is full the oldest event is overwritten.
+  void record(const TraceEvent& event);
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Events currently retained.
+  [[nodiscard]] std::size_t size() const;
+  /// Events ever recorded (retained + overwritten).
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  [[nodiscard]] std::uint64_t overwritten() const { return total_ - size(); }
+  [[nodiscard]] bool empty() const { return total_ == 0; }
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  void clear();
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;     // next write position
+  std::uint64_t total_ = 0;  // events ever recorded
+};
+
+}  // namespace domino::obs

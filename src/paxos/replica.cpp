@@ -6,7 +6,11 @@ namespace domino::paxos {
 
 Replica::Replica(NodeId id, std::size_t dc, net::Network& network,
                  std::vector<NodeId> replicas, NodeId leader, sim::LocalClock clock)
-    : rpc::Node(id, dc, network, clock), replicas_(std::move(replicas)), leader_(leader) {}
+    : rpc::Node(id, dc, network, clock), replicas_(std::move(replicas)), leader_(leader) {
+  obs_accepts_ = obs_sink().counter("paxos.accepts");
+  obs_commits_ = obs_sink().counter("paxos.commits");
+  obs_executed_ = obs_sink().counter("paxos.executed");
+}
 
 void Replica::on_packet(const net::Packet& packet) {
   switch (wire::peek_type(packet.payload)) {
@@ -43,6 +47,7 @@ void Replica::handle_client_request(const net::Packet& packet) {
 void Replica::handle_accept(NodeId from, const wire::Payload& payload) {
   const auto msg = wire::decode_message<Accept>(payload);
   log_.accept(msg.index, msg.command);
+  obs_accepts_.inc();
   send(from, AcceptReply{msg.index});
 }
 
@@ -56,6 +61,7 @@ void Replica::handle_accept_reply(const wire::Payload& payload) {
   accept_counts_.erase(it);
   log_.commit(msg.index);
   ++committed_;
+  obs_commits_.inc();
 
   // Reply to the client and notify followers (asynchronously, i.e. the
   // client does not wait for follower commits).
@@ -81,6 +87,7 @@ void Replica::execute_ready() {
   for (auto& [index, command] : log_.drain_executable()) {
     (void)index;
     store_.apply(command);
+    obs_executed_.inc();
     if (exec_hook_) exec_hook_(command.id, true_now());
   }
 }

@@ -57,6 +57,10 @@ class Replica : public rpc::Node {
   std::unordered_map<std::uint64_t, std::size_t> accept_counts_;  // index -> acks (incl. self)
   std::unordered_map<std::uint64_t, NodeId> origin_;              // index -> requesting client
   std::uint64_t committed_ = 0;
+
+  obs::CounterHandle obs_accepts_;
+  obs::CounterHandle obs_commits_;
+  obs::CounterHandle obs_executed_;
 };
 
 }  // namespace domino::paxos

@@ -3,10 +3,18 @@
 namespace domino::rpc {
 
 ClientBase::ClientBase(NodeId id, std::size_t dc, net::Network& network, sim::LocalClock clock)
-    : Node(id, dc, network, clock) {}
+    : Node(id, dc, network, clock) {
+  obs_submitted_ = obs_sink().counter("client.submitted");
+  obs_committed_ = obs_sink().counter("client.committed");
+  obs_commit_latency_ = obs_sink().histogram("client.commit_latency_ns");
+}
 
 ClientBase::ClientBase(NodeId id, std::size_t dc, Context& context, sim::LocalClock clock)
-    : Node(id, dc, context, clock) {}
+    : Node(id, dc, context, clock) {
+  obs_submitted_ = obs_sink().counter("client.submitted");
+  obs_committed_ = obs_sink().counter("client.committed");
+  obs_commit_latency_ = obs_sink().histogram("client.commit_latency_ns");
+}
 
 void ClientBase::start_load(sm::WorkloadGenerator& workload, double rps) {
   if (rps <= 0.0) return;
@@ -20,6 +28,13 @@ void ClientBase::stop_load() { load_timer_.stop(); }
 void ClientBase::submit(sm::Command command) {
   ++submitted_;
   sent_at_.emplace(command.id, true_now());
+  obs_submitted_.inc();
+  if (obs_sink().tracing()) {
+    obs_sink().record(obs::TraceEvent{.at = true_now(),
+                                      .kind = obs::EventKind::kRequestSubmit,
+                                      .node = id(),
+                                      .request = command.id});
+  }
   if (send_hook_) send_hook_(command.id, true_now());
   propose(command);
 }
@@ -28,10 +43,19 @@ void ClientBase::handle_committed(const RequestId& id) {
   if (id.client != this->id()) return;
   if (!done_seqs_.insert(id.seq).second) return;  // duplicate notification
   ++committed_;
+  obs_committed_.inc();
   auto it = sent_at_.find(id);
   if (it == sent_at_.end()) return;
   const TimePoint sent = it->second;
   sent_at_.erase(it);
+  obs_commit_latency_.record(true_now() - sent);
+  if (obs_sink().tracing()) {
+    obs_sink().record(obs::TraceEvent{.at = true_now(),
+                                      .kind = obs::EventKind::kCommit,
+                                      .node = this->id(),
+                                      .request = id,
+                                      .value = (true_now() - sent).nanos()});
+  }
   if (commit_hook_) commit_hook_(id, sent, true_now());
 }
 

@@ -53,6 +53,9 @@ class ClientBase : public Node {
   CommitHook commit_hook_;
   SendHook send_hook_;
   RepeatingTimer load_timer_;
+  obs::CounterHandle obs_submitted_;
+  obs::CounterHandle obs_committed_;
+  obs::HistogramHandle obs_commit_latency_;
   std::unordered_map<RequestId, TimePoint> sent_at_;  // true send time
   std::unordered_set<std::uint64_t> done_seqs_;       // committed request seqs
   std::uint64_t submitted_ = 0;

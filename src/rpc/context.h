@@ -14,6 +14,7 @@
 #include "common/ids.h"
 #include "common/time.h"
 #include "net/packet.h"
+#include "obs/sink.h"
 
 namespace domino::rpc {
 
@@ -36,6 +37,10 @@ class Context {
   /// Bind `receiver` as the packet handler for node `id`. `dc` is the
   /// datacenter placement; transports without a placement concept ignore it.
   virtual void register_node(NodeId id, std::size_t dc, Receiver receiver) = 0;
+
+  /// The observability sink nodes on this transport should report into.
+  /// Default: disabled (real-socket transports run uninstrumented for now).
+  [[nodiscard]] virtual obs::Sink obs() const { return {}; }
 };
 
 /// A periodic timer driven by any Context. Cancellation is cooperative: a

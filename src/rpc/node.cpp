@@ -1,25 +1,62 @@
 #include "rpc/node.h"
 
 #include <stdexcept>
+#include <string>
 
 #include "rpc/sim_context.h"
 
 namespace domino::rpc {
 
 Node::Node(NodeId id, std::size_t dc, Context& context, sim::LocalClock clock)
-    : context_(context), id_(id), dc_(dc), clock_(clock) {}
+    : context_(context), id_(id), dc_(dc), clock_(clock) {
+  obs_ = context_.obs();
+  obs_sent_ = obs_.counter("rpc.messages_sent");
+  obs_received_ = obs_.counter("rpc.messages_received");
+}
 
 Node::Node(NodeId id, std::size_t dc, net::Network& network, sim::LocalClock clock)
     : owned_context_(std::make_unique<SimContext>(network)),
       context_(*owned_context_),
       id_(id),
       dc_(dc),
-      clock_(clock) {}
+      clock_(clock) {
+  obs_ = context_.obs();
+  obs_sent_ = obs_.counter("rpc.messages_sent");
+  obs_received_ = obs_.counter("rpc.messages_received");
+}
 
 void Node::attach() {
   if (attached_) throw std::logic_error("Node::attach called twice");
   attached_ = true;
-  context_.register_node(id_, dc_, [this](const net::Packet& pkt) { on_packet(pkt); });
+  context_.register_node(id_, dc_, [this](const net::Packet& pkt) {
+    if (obs_.metrics != nullptr) instrument_recv(pkt);
+    on_packet(pkt);
+  });
+}
+
+void Node::instrument_send(wire::MessageType type, std::size_t bytes) {
+  obs_sent_.inc();
+  const auto tag = static_cast<std::size_t>(type);
+  if (tag >= wire::kMaxMessageTypeTag) return;
+  if (!obs_sent_init_[tag]) {
+    obs_sent_init_[tag] = true;
+    obs_sent_bytes_[tag] = obs_.histogram(
+        std::string("rpc.sent_bytes.") + wire::message_type_name(type));
+  }
+  obs_sent_bytes_[tag].record(static_cast<std::int64_t>(bytes));
+}
+
+void Node::instrument_recv(const net::Packet& packet) {
+  obs_received_.inc();
+  const wire::MessageType type = wire::peek_type(packet.payload);
+  const auto tag = static_cast<std::size_t>(type);
+  if (tag >= wire::kMaxMessageTypeTag) return;
+  if (!obs_recv_init_[tag]) {
+    obs_recv_init_[tag] = true;
+    obs_recv_type_[tag] =
+        obs_.counter(std::string("rpc.received.") + wire::message_type_name(type));
+  }
+  obs_recv_type_[tag].inc();
 }
 
 }  // namespace domino::rpc

@@ -9,11 +9,13 @@
 // codec.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <utility>
 
 #include "common/ids.h"
 #include "net/network.h"
+#include "obs/sink.h"
 #include "rpc/context.h"
 #include "sim/clock.h"
 #include "wire/message.h"
@@ -53,8 +55,15 @@ class Node {
   /// Serialize and send a protocol message.
   template <typename M>
   void send(NodeId dst, const M& msg) {
-    context_.send(id_, dst, wire::encode_message(msg));
+    wire::Payload payload = wire::encode_message(msg);
+    if (obs_.metrics != nullptr) instrument_send(M::kType, payload.size());
+    context_.send(id_, dst, std::move(payload));
   }
+
+  /// The observability sink this node (and components embedded in it, e.g.
+  /// a measure::Prober) reports into. Captured from the transport at
+  /// construction; disabled unless the transport was bound first.
+  [[nodiscard]] const obs::Sink& obs_sink() const { return obs_; }
 
   /// Schedule `fn` to run after `delay` (true-time delay).
   void after(Duration delay, std::function<void()> fn) {
@@ -70,12 +79,25 @@ class Node {
   virtual void on_packet(const net::Packet& packet) = 0;
 
  private:
+  void instrument_send(wire::MessageType type, std::size_t bytes);
+  void instrument_recv(const net::Packet& packet);
+
   std::unique_ptr<Context> owned_context_;  // set by the Network convenience ctor
   Context& context_;
   NodeId id_;
   std::size_t dc_;
   sim::LocalClock clock_;
   bool attached_ = false;
+
+  // Per-message-type handles, created lazily off the hot path; index = wire
+  // tag. init bits distinguish "not yet created" from "disabled".
+  obs::Sink obs_;
+  obs::CounterHandle obs_sent_;
+  obs::CounterHandle obs_received_;
+  std::array<obs::HistogramHandle, wire::kMaxMessageTypeTag> obs_sent_bytes_{};
+  std::array<obs::CounterHandle, wire::kMaxMessageTypeTag> obs_recv_type_{};
+  std::array<bool, wire::kMaxMessageTypeTag> obs_sent_init_{};
+  std::array<bool, wire::kMaxMessageTypeTag> obs_recv_init_{};
 };
 
 }  // namespace domino::rpc

@@ -24,6 +24,8 @@ class SimContext final : public Context {
     network_.register_node(id, dc, std::move(receiver));
   }
 
+  [[nodiscard]] obs::Sink obs() const override { return network_.obs_sink(); }
+
   [[nodiscard]] net::Network& network() { return network_; }
 
  private:

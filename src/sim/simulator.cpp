@@ -5,9 +5,17 @@
 
 namespace domino::sim {
 
+void Simulator::bind_obs(const obs::Sink& sink) {
+  obs_executed_ = sink.counter("sim.events_executed");
+  obs_scheduled_ = sink.counter("sim.events_scheduled");
+  obs_queue_depth_ = sink.gauge("sim.queue_depth");
+}
+
 void Simulator::schedule_at(TimePoint at, Action action) {
   if (at < now_) at = now_;
   queue_.push(Event{at, next_seq_++, std::move(action)});
+  obs_scheduled_.inc();
+  obs_queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
 }
 
 void Simulator::schedule_after(Duration delay, Action action) {
@@ -23,6 +31,8 @@ bool Simulator::step() {
   queue_.pop();
   now_ = ev.at;
   ++executed_;
+  obs_executed_.inc();
+  obs_queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
   ev.action();
   return true;
 }

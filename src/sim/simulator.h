@@ -13,12 +13,18 @@
 #include <vector>
 
 #include "common/time.h"
+#include "obs/sink.h"
 
 namespace domino::sim {
 
 class Simulator {
  public:
   using Action = std::function<void()>;
+
+  /// Attach an observability sink: counts executed/scheduled events and
+  /// tracks the event-queue depth. Call before scheduling load; an unbound
+  /// simulator pays one branch per event.
+  void bind_obs(const obs::Sink& sink);
 
   /// Current virtual ("true") time. Nodes see skewed views of this via
   /// LocalClock.
@@ -61,6 +67,10 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+
+  obs::CounterHandle obs_executed_;
+  obs::CounterHandle obs_scheduled_;
+  obs::GaugeHandle obs_queue_depth_;
 };
 
 /// A periodic timer helper: reschedules itself every `interval` until

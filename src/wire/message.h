@@ -5,6 +5,7 @@
 // and DM simultaneously) behind a single dispatch point.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "wire/codec.h"
@@ -79,6 +80,69 @@ enum class MessageType : std::uint16_t {
   kDfpRangeReply = 74,
   kDfpRangeResolve = 75,
 };
+
+/// Stable human-readable name of a message type (metric names, trace
+/// output). Unknown tags map to "Unknown".
+[[nodiscard]] constexpr const char* message_type_name(MessageType t) {
+  switch (t) {
+    case MessageType::kProbe: return "Probe";
+    case MessageType::kProbeReply: return "ProbeReply";
+    case MessageType::kPaxosClientRequest: return "PaxosClientRequest";
+    case MessageType::kPaxosAccept: return "PaxosAccept";
+    case MessageType::kPaxosAcceptReply: return "PaxosAcceptReply";
+    case MessageType::kPaxosCommit: return "PaxosCommit";
+    case MessageType::kPaxosClientReply: return "PaxosClientReply";
+    case MessageType::kPaxosExecuted: return "PaxosExecuted";
+    case MessageType::kMenciusClientRequest: return "MenciusClientRequest";
+    case MessageType::kMenciusAccept: return "MenciusAccept";
+    case MessageType::kMenciusAcceptReply: return "MenciusAcceptReply";
+    case MessageType::kMenciusCommit: return "MenciusCommit";
+    case MessageType::kMenciusSkip: return "MenciusSkip";
+    case MessageType::kMenciusClientReply: return "MenciusClientReply";
+    case MessageType::kMenciusExecuted: return "MenciusExecuted";
+    case MessageType::kEpaxosClientRequest: return "EpaxosClientRequest";
+    case MessageType::kEpaxosPreAccept: return "EpaxosPreAccept";
+    case MessageType::kEpaxosPreAcceptReply: return "EpaxosPreAcceptReply";
+    case MessageType::kEpaxosAccept: return "EpaxosAccept";
+    case MessageType::kEpaxosAcceptReply: return "EpaxosAcceptReply";
+    case MessageType::kEpaxosCommit: return "EpaxosCommit";
+    case MessageType::kEpaxosClientReply: return "EpaxosClientReply";
+    case MessageType::kEpaxosExecuted: return "EpaxosExecuted";
+    case MessageType::kFastPaxosClientRequest: return "FastPaxosClientRequest";
+    case MessageType::kFastPaxosAcceptNotice: return "FastPaxosAcceptNotice";
+    case MessageType::kFastPaxosRecoveryAccept: return "FastPaxosRecoveryAccept";
+    case MessageType::kFastPaxosRecoveryReply: return "FastPaxosRecoveryReply";
+    case MessageType::kFastPaxosCommit: return "FastPaxosCommit";
+    case MessageType::kFastPaxosClientReply: return "FastPaxosClientReply";
+    case MessageType::kFastPaxosExecuted: return "FastPaxosExecuted";
+    case MessageType::kDfpPropose: return "DfpPropose";
+    case MessageType::kDfpAcceptNotice: return "DfpAcceptNotice";
+    case MessageType::kDfpCommit: return "DfpCommit";
+    case MessageType::kDfpClientReply: return "DfpClientReply";
+    case MessageType::kDfpRecoveryAccept: return "DfpRecoveryAccept";
+    case MessageType::kDfpRecoveryReply: return "DfpRecoveryReply";
+    case MessageType::kDominoHeartbeat: return "DominoHeartbeat";
+    case MessageType::kDmPropose: return "DmPropose";
+    case MessageType::kDmAccept: return "DmAccept";
+    case MessageType::kDmAcceptReply: return "DmAcceptReply";
+    case MessageType::kDmCommit: return "DmCommit";
+    case MessageType::kDmClientReply: return "DmClientReply";
+    case MessageType::kDominoExecuted: return "DominoExecuted";
+    case MessageType::kProxyQuery: return "ProxyQuery";
+    case MessageType::kProxyReport: return "ProxyReport";
+    case MessageType::kDmRevoke: return "DmRevoke";
+    case MessageType::kDmRevokeReply: return "DmRevokeReply";
+    case MessageType::kDmRevokeResult: return "DmRevokeResult";
+    case MessageType::kDfpRangeRecover: return "DfpRangeRecover";
+    case MessageType::kDfpRangeReply: return "DfpRangeReply";
+    case MessageType::kDfpRangeResolve: return "DfpRangeResolve";
+  }
+  return "Unknown";
+}
+
+/// Upper bound (exclusive) on MessageType tag values; sized so per-type
+/// handle tables can be fixed arrays.
+inline constexpr std::size_t kMaxMessageTypeTag = 80;
 
 /// Serialize a message struct (anything with `kType` and `encode`) into an
 /// envelope payload.

@@ -1,0 +1,79 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+
+namespace domino::obs {
+namespace {
+
+TraceEvent event_at(std::int64_t ns, EventKind kind = EventKind::kMessageSend) {
+  TraceEvent e;
+  e.at = TimePoint::epoch() + Duration{ns};
+  e.kind = kind;
+  e.node = NodeId{1};
+  e.value = ns;
+  return e;
+}
+
+TEST(TraceRecorder, RecordsInOrder) {
+  TraceRecorder t(8);
+  EXPECT_TRUE(t.empty());
+  for (std::int64_t i = 0; i < 5; ++i) t.record(event_at(i));
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.total_recorded(), 5u);
+  EXPECT_EQ(t.overwritten(), 0u);
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[i].value, static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(TraceRecorder, RingWrapsKeepingNewest) {
+  TraceRecorder t(4);
+  for (std::int64_t i = 0; i < 10; ++i) t.record(event_at(i));
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.total_recorded(), 10u);
+  EXPECT_EQ(t.overwritten(), 6u);
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first: events 6, 7, 8, 9.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].value, static_cast<std::int64_t>(6 + i));
+  }
+}
+
+TEST(TraceRecorder, Clear) {
+  TraceRecorder t(4);
+  t.record(event_at(1));
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.snapshot().empty());
+}
+
+TEST(TraceRecorder, EveryKindHasAName) {
+  for (auto kind : {EventKind::kRequestSubmit, EventKind::kFastAccept,
+                    EventKind::kCoordinatorFallback, EventKind::kCommit,
+                    EventKind::kExecute, EventKind::kProbeSend, EventKind::kProbeRecv,
+                    EventKind::kMessageSend, EventKind::kMessageDeliver,
+                    EventKind::kMessageDrop}) {
+    EXPECT_STRNE(event_kind_name(kind), "");
+  }
+}
+
+TEST(TraceRecorder, TextExportIsDeterministic) {
+  TraceRecorder a(16);
+  TraceRecorder b(16);
+  for (std::int64_t i = 0; i < 20; ++i) {  // wraps both rings identically
+    a.record(event_at(i * 3, EventKind::kCommit));
+    b.record(event_at(i * 3, EventKind::kCommit));
+  }
+  EXPECT_EQ(trace_to_text(a), trace_to_text(b));
+  EXPECT_EQ(trace_to_json(a), trace_to_json(b));
+  EXPECT_FALSE(trace_to_text(a).empty());
+}
+
+}  // namespace
+}  // namespace domino::obs
