@@ -4,21 +4,36 @@
 # Usage:
 #   scripts/check.sh              # plain RelWithDebInfo build + ctest
 #   scripts/check.sh --sanitize   # same, with ASan + UBSan (DOMINO_SANITIZE)
+#   scripts/check.sh --chaos      # chaos suite only (ctest -L chaos), sanitized
 #
-# The build directory is build/ (or build-asan/ with --sanitize) under the
-# repository root.
+# The build directory is build/ (or build-asan/ with --sanitize/--chaos)
+# under the repository root.
+#
+# --chaos is the robustness gate: the seeded fault-injection sweep
+# (tests/integration/test_chaos.cpp) exercises crash/partition/degradation
+# schedules across every protocol, and running it under ASan+UBSan catches
+# the memory errors that fault-handling paths are most prone to.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="$root/build"
 cmake_args=()
+ctest_args=()
 
-if [[ "${1:-}" == "--sanitize" ]]; then
-  build_dir="$root/build-asan"
-  cmake_args+=(-DDOMINO_SANITIZE=ON)
-  shift
-fi
+case "${1:-}" in
+  --sanitize)
+    build_dir="$root/build-asan"
+    cmake_args+=(-DDOMINO_SANITIZE=ON)
+    shift
+    ;;
+  --chaos)
+    build_dir="$root/build-asan"
+    cmake_args+=(-DDOMINO_SANITIZE=ON)
+    ctest_args+=(-L chaos)
+    shift
+    ;;
+esac
 
 cmake -B "$build_dir" -S "$root" "${cmake_args[@]}"
 cmake --build "$build_dir" -j "$(nproc)"
-ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "$@"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "${ctest_args[@]}" "$@"

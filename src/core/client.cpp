@@ -30,6 +30,7 @@ void Client::init_obs() {
   obs_dm_chosen_ = sink.counter("domino.client.dm_chosen");
   obs_fast_learns_ = sink.counter("domino.client.fast_learns");
   obs_slow_replies_ = sink.counter("domino.client.slow_replies");
+  obs_failovers_ = sink.counter("domino.client.failovers");
 }
 
 void Client::start() {
@@ -111,7 +112,29 @@ void Client::propose(const sm::Command& command) {
   }
   ++dm_chosen_;
   obs_dm_chosen_.inc();
-  propose_dm(command, est.dm_leader.valid() ? est.dm_leader : replicas_.front());
+  propose_dm(command, est.dm_leader.valid() ? est.dm_leader : fallback_dm_leader());
+}
+
+NodeId Client::fallback_dm_leader() const {
+  for (NodeId r : replicas_) {
+    if (!view().is_stale(r)) return r;
+  }
+  return replicas_.front();
+}
+
+void Client::on_request_timeout(const sm::Command& command, std::size_t /*attempt*/) {
+  // Forget the DFP attempt (any quorum it was gathering is moot; the DFP
+  // timestamp of the retry will differ, so late notices are ignored).
+  if (dfp_pending_.erase(command.id) > 0) {
+    ++dfp_failovers_;
+    obs_failovers_.inc();
+  }
+  // Re-route through DM: the estimator skips stale leaders, so a crashed
+  // replica's lane is avoided once its probe feed goes quiet.
+  const auto dm = measure::estimate_dm_latency(view(), replicas_);
+  ++dm_chosen_;
+  obs_dm_chosen_.inc();
+  propose_dm(command, dm.leader.valid() ? dm.leader : fallback_dm_leader());
 }
 
 void Client::propose_dfp(const sm::Command& command) {
@@ -119,7 +142,7 @@ void Client::propose_dfp(const sm::Command& command) {
       view(), local_now(), replicas_, config_.additional_delay);
   if (predicted == TimePoint::max()) {
     // No usable arrival predictions; fall back to DM.
-    propose_dm(command, replicas_.front());
+    propose_dm(command, fallback_dm_leader());
     return;
   }
   // Timestamps double as log positions, so they must be unique per client

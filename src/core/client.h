@@ -92,6 +92,8 @@ class Client : public rpc::ClientBase {
   [[nodiscard]] std::uint64_t dm_chosen() const { return dm_chosen_; }
   [[nodiscard]] std::uint64_t dfp_fast_learns() const { return dfp_fast_learns_; }
   [[nodiscard]] std::uint64_t dfp_slow_replies() const { return dfp_slow_replies_; }
+  /// Timed-out requests re-routed through DM (see on_request_timeout).
+  [[nodiscard]] std::uint64_t dfp_failovers() const { return dfp_failovers_; }
 
   void set_additional_delay(Duration d) { config_.additional_delay = d; }
   void set_mode(ClientConfig::Mode mode) { config_.mode = mode; }
@@ -104,11 +106,22 @@ class Client : public rpc::ClientBase {
 
  protected:
   void propose(const sm::Command& command) override;
+  /// Failover path (requires ClientBase::set_request_timeout): a request
+  /// that timed out — typically because a DFP coordinator or DM leader
+  /// crashed mid-request — is abandoned on its original path and re-routed
+  /// through DM to the best replica whose measurement feed is not stale.
+  /// The probe feed doubles as a failure detector here (Section 5.8): a
+  /// crashed replica stops answering probes, goes stale within a few probe
+  /// intervals, and is skipped when picking the new DM leader.
+  void on_request_timeout(const sm::Command& command, std::size_t attempt) override;
   void on_packet(const net::Packet& packet) override;
 
  private:
   void propose_dfp(const sm::Command& command);
   void propose_dm(const sm::Command& command, NodeId leader);
+  /// First replica whose feed is not stale (falls back to replicas_.front()
+  /// when everything looks stale, e.g. right after startup).
+  [[nodiscard]] NodeId fallback_dm_leader() const;
   void record_dfp_outcome(bool fast);
 
   std::vector<NodeId> replicas_;
@@ -133,12 +146,14 @@ class Client : public rpc::ClientBase {
   std::uint64_t dm_chosen_ = 0;
   std::uint64_t dfp_fast_learns_ = 0;
   std::uint64_t dfp_slow_replies_ = 0;
+  std::uint64_t dfp_failovers_ = 0;
 
   void init_obs();
   obs::CounterHandle obs_dfp_chosen_;
   obs::CounterHandle obs_dm_chosen_;
   obs::CounterHandle obs_fast_learns_;
   obs::CounterHandle obs_slow_replies_;
+  obs::CounterHandle obs_failovers_;
 };
 
 }  // namespace domino::core

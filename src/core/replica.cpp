@@ -499,7 +499,16 @@ void Replica::maybe_commit_dm(std::int64_t ts) {
 void Replica::handle_dm_commit(const wire::Payload& payload) {
   const auto msg = wire::decode_message<DmCommit>(payload);
   if (msg.lane >= replicas_.size()) return;
-  log_.commit(log::LogPosition{msg.ts, msg.lane});
+  const log::LogPosition pos{msg.ts, msg.lane};
+  if (log_.entry(pos) == nullptr) {
+    // We never saw the accept (it was lost while we were crashed or
+    // partitioned) and the commit carries no command, so there is nothing
+    // to materialize. Ignore it: the position stays unresolved here and
+    // this replica lags until the lane's revocation/watermark machinery
+    // resolves the range — it must not bring the whole process down.
+    return;
+  }
+  log_.commit(pos);
   execute_ready();
 }
 
@@ -516,6 +525,18 @@ bool Replica::is_successor_for(std::size_t dead_rank) const {
 }
 
 void Replica::maybe_run_failure_recovery() {
+  // Connectivity guard: a replica that cannot see a majority of the cluster
+  // (counting itself) is more likely the isolated one — freshly recovered
+  // from a crash or cut off by a partition, its failure detector is stale
+  // about *everyone*. Running recovery in that state would revoke healthy
+  // lanes on the strength of a one-replica "quorum". Stand down until the
+  // probe feed confirms a connected majority.
+  std::size_t reachable = 1;  // self
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    if (r != rank_ && !prober_.looks_failed(replicas_[r])) ++reachable;
+  }
+  if (reachable < measure::majority(replicas_.size())) return;
+
   bool any_failed = false;
   for (std::size_t r = 0; r < replicas_.size(); ++r) {
     if (r == rank_ || !prober_.looks_failed(replicas_[r])) continue;
@@ -595,10 +616,18 @@ void Replica::try_finalize_dm_revoke(std::uint32_t lane) {
   // (not just a majority) guarantees that an entry committed-and-compacted
   // at some replicas is still reported by any replica that merely accepted
   // it.
+  std::size_t replied = 1;  // self
   for (std::size_t r = 0; r < replicas_.size(); ++r) {
     if (r == rank_ || prober_.looks_failed(replicas_[r])) continue;
     if (!round.replied.contains(replicas_[r])) return;
+    ++replied;
   }
+  // Never finalize on less than a majority of lane state: if the failure
+  // detector degraded mid-round (e.g. we got partitioned while revoking),
+  // the "all live replicas" wait-set above can shrink to just ourselves,
+  // and a single-replica revocation could no-op entries the connected
+  // majority has accepted. Keep the round open until probes recover.
+  if (replied < measure::majority(replicas_.size())) return;
   DmRevokeResult result;
   result.lane = lane;
   result.from_ts = round.from;

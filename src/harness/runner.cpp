@@ -69,6 +69,7 @@ struct Env {
       throw std::invalid_argument("Scenario: bad leader index");
     }
     network.use_default_links(s.jitter);
+    if (!s.faults.empty()) network.install_faults(s.faults);
     if (s.observability) {
       metrics = std::make_shared<obs::MetricsRegistry>();
       trace = std::make_shared<obs::TraceRecorder>(s.trace_capacity);
@@ -102,6 +103,10 @@ struct Env {
       workloads.push_back(std::make_unique<sm::WorkloadGenerator>(
           scenario.workload, scenario.seed * 7919 + i));
       ClientT* client = clients[i].get();
+      if (scenario.client_request_timeout > Duration::zero()) {
+        client->set_request_timeout(scenario.client_request_timeout,
+                                    scenario.client_max_retries);
+      }
       client->set_send_hook([this, i](const RequestId& id, TimePoint at) {
         collector.on_send(i, id, at);
       });
@@ -126,14 +131,37 @@ struct Env {
     }
     for (const auto& c : clients) {
       result.submitted += c->submitted_count();
+      result.client_committed += c->committed_count();
+      result.client_retries += c->retry_count();
+      result.client_abandoned += c->abandoned_count();
+      result.client_inflight_end += c->inflight_count();
     }
     result.committed = collector.committed_count();
     result.packets_sent = network.packets_sent();
     result.bytes_sent = network.bytes_sent();
+    result.packets_dropped = network.packets_dropped();
+    result.drops_crashed_source = network.packets_dropped(net::DropReason::kCrashedSource);
+    result.drops_crashed_dest = network.packets_dropped(net::DropReason::kCrashedDest);
+    result.drops_partition = network.packets_dropped(net::DropReason::kPartition);
+    result.fault_digest = network.fault().digest();
+    result.fault_transitions = network.fault().transitions();
     result.measure_window = scenario.measure;
     result.latency = collector.summarize();
     result.metrics = metrics;
     result.trace = trace;
+  }
+
+  /// Record each replica's state-machine fingerprint (chaos convergence
+  /// checks compare these across the live majority).
+  template <typename ReplicaT>
+  void collect_stores(const std::vector<std::unique_ptr<ReplicaT>>& replicas,
+                      RunResult& result) const {
+    result.replica_store_fingerprints.reserve(replicas.size());
+    result.replica_applied_counts.reserve(replicas.size());
+    for (const auto& r : replicas) {
+      result.replica_store_fingerprints.push_back(r->store().fingerprint());
+      result.replica_applied_counts.push_back(r->store().applied_count());
+    }
   }
 
   const Scenario& scenario;
@@ -180,6 +208,7 @@ RunResult run_multipaxos_impl(const Scenario& s) {
   }
 
   env.drive(clients, result);
+  env.collect_stores(replicas, result);
   return result;
 }
 
@@ -215,6 +244,7 @@ RunResult run_mencius_impl(const Scenario& s) {
   }
 
   env.drive(clients, result);
+  env.collect_stores(replicas, result);
   return result;
 }
 
@@ -248,6 +278,7 @@ RunResult run_epaxos_impl(const Scenario& s) {
   }
 
   env.drive(clients, result);
+  env.collect_stores(replicas, result);
   for (const auto& r : replicas) {
     result.fast_path += r->fast_path_commits();
     result.slow_path += r->slow_path_commits();
@@ -286,6 +317,7 @@ RunResult run_fastpaxos_impl(const Scenario& s) {
   }
 
   env.drive(clients, result);
+  env.collect_stores(replicas, result);
   for (const auto& r : replicas) {
     result.fast_path += r->fast_commits();
     result.slow_path += r->slow_commits();
@@ -338,6 +370,7 @@ RunResult run_domino_impl(const Scenario& s) {
   }
 
   env.drive(clients, result);
+  env.collect_stores(replicas, result);
   for (const auto& r : replicas) {
     result.fast_path += r->dfp_fast_commits();
     result.slow_path += r->dfp_slow_commits();

@@ -15,6 +15,7 @@
 #include "common/stats.h"
 #include "core/client.h"
 #include "harness/collector.h"
+#include "net/fault.h"
 #include "net/latency_model.h"
 #include "net/topology.h"
 #include "obs/metrics.h"
@@ -67,6 +68,16 @@ struct Scenario {
   bool observability = true;
   /// Trace ring capacity (events); older events are overwritten.
   std::size_t trace_capacity = obs::TraceRecorder::kDefaultCapacity;
+
+  // Robustness knobs (chaos runs).
+  /// Timed fault events (crashes, partitions, degradations, route changes)
+  /// installed into the network before the run starts. Empty = fault-free.
+  net::FaultSchedule faults;
+  /// When > 0, every client arms a per-request timeout and re-proposes
+  /// (protocol-specific: Domino fails over to DM) up to
+  /// client_max_retries times before abandoning the request.
+  Duration client_request_timeout = Duration::zero();
+  std::size_t client_max_retries = 3;
 };
 
 struct RunResult {
@@ -84,6 +95,29 @@ struct RunResult {
 
   std::uint64_t packets_sent = 0;
   std::uint64_t bytes_sent = 0;
+
+  // Robustness accounting (all zero on fault-free runs without timeouts).
+  /// Commits observed by clients over the WHOLE run (warmup + measure +
+  /// cooldown) — unlike `committed`, which counts only the measurement
+  /// window. The liveness invariant is
+  ///   submitted == client_committed + client_abandoned + client_inflight_end.
+  std::uint64_t client_committed = 0;
+  std::uint64_t packets_dropped = 0;        // total, all reasons
+  std::uint64_t drops_crashed_source = 0;
+  std::uint64_t drops_crashed_dest = 0;
+  std::uint64_t drops_partition = 0;
+  /// Order-sensitive digest over every fault transition and drop; equal
+  /// digests mean byte-identical fault/drop behaviour (determinism checks).
+  std::uint64_t fault_digest = 0;
+  std::uint64_t fault_transitions = 0;
+  std::uint64_t client_retries = 0;
+  std::uint64_t client_abandoned = 0;
+  std::uint64_t client_inflight_end = 0;    // submitted but never resolved
+  /// KvStore::fingerprint() per replica, in replica order. Replicas that
+  /// are crashed at the end of the run may legitimately lag; chaos tests
+  /// compare the fingerprints of the live majority.
+  std::vector<std::uint64_t> replica_store_fingerprints;
+  std::vector<std::uint64_t> replica_applied_counts;
 
   /// Committed requests per second of measurement window.
   [[nodiscard]] double throughput_rps() const;

@@ -31,6 +31,9 @@ Duration estimate_replication_latency(const LatencyView& view, NodeId self,
 DmEstimate estimate_dm_latency(const LatencyView& view, const std::vector<NodeId>& replicas) {
   DmEstimate best;
   for (NodeId r : replicas) {
+    // A stale feed means the replica (or the path to it) has gone quiet;
+    // never pick it as a DM leader (Section 5.8's failure heuristic).
+    if (view.is_stale(r)) continue;
     const Duration er = view.rtt_estimate(r);
     const Duration lr = view.replication_latency_of(r);
     if (er == Duration::max() || lr == Duration::max()) continue;

@@ -38,7 +38,8 @@ struct DmEstimate {
 };
 
 /// Estimated DM commit latency and the leader to use: min over replicas of
-/// (client->replica RTT + piggybacked L_r).
+/// (client->replica RTT + piggybacked L_r). Replicas whose measurement feed
+/// is stale (LatencyView::is_stale) are never chosen.
 [[nodiscard]] DmEstimate estimate_dm_latency(const LatencyView& view,
                                              const std::vector<NodeId>& replicas);
 

@@ -28,6 +28,14 @@ class LatencyView {
 
   [[nodiscard]] virtual bool looks_failed(NodeId target) const = 0;
 
+  /// True when the estimate for `target` has gone stale: the measurement
+  /// feed has not heard from it recently enough to trust the numbers, even
+  /// though the (longer) failure timeout may not have fired yet. Consumers
+  /// choosing a leader should skip stale targets (the fault-tolerance
+  /// heuristic of Section 5.8). Defaults to the failure heuristic for views
+  /// without a finer-grained freshness signal.
+  [[nodiscard]] virtual bool is_stale(NodeId target) const { return looks_failed(target); }
+
   /// The default percentile this view was configured with.
   [[nodiscard]] virtual double default_percentile() const = 0;
 

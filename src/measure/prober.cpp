@@ -81,6 +81,19 @@ bool Prober::looks_failed(NodeId target) const {
   return owner_.true_now() - ts.last_reply_true_time > config_.failure_timeout;
 }
 
+bool Prober::is_stale(NodeId target) const {
+  if (target == owner_.id()) return false;
+  auto it = state_.find(target);
+  if (it == state_.end()) return true;
+  const Duration stale_after =
+      config_.probe_interval * static_cast<std::int64_t>(config_.stale_after_intervals);
+  const TargetState& ts = it->second;
+  if (!ts.ever_replied) {
+    return ever_started_ && owner_.true_now() - started_ > stale_after;
+  }
+  return owner_.true_now() - ts.last_reply_true_time > stale_after;
+}
+
 Duration Prober::rtt_estimate(NodeId target, double percentile) const {
   if (target == owner_.id()) return Duration::zero();
   auto it = state_.find(target);

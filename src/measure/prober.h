@@ -36,6 +36,11 @@ struct ProberConfig {
   /// A target that has not answered for this long is considered failed and
   /// reported with Duration::max() estimates.
   Duration failure_timeout = milliseconds(500);
+  /// A target that has not answered for this many probe intervals is marked
+  /// *stale* (LatencyView::is_stale) well before the failure timeout fires:
+  /// its estimates still exist but consumers should stop trusting the link
+  /// (e.g. the Domino client skips stale DM leaders).
+  std::size_t stale_after_intervals = 3;
 };
 
 class Prober final : public LatencyView {
@@ -69,6 +74,10 @@ class Prober final : public LatencyView {
   [[nodiscard]] Duration replication_latency_of(NodeId target) const override;
 
   [[nodiscard]] bool looks_failed(NodeId target) const override;
+
+  /// No reply for `stale_after_intervals` probe intervals (Section 5.8's
+  /// fast "stop trusting this link" signal; fires before failure_timeout).
+  [[nodiscard]] bool is_stale(NodeId target) const override;
 
   [[nodiscard]] double default_percentile() const override { return config_.percentile; }
 

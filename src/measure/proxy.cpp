@@ -11,6 +11,7 @@ void ProxyReport::encode(wire::ByteWriter& w) const {
     w.duration(e.owd);
     w.duration(e.replication_latency);
     w.boolean(e.failed);
+    w.boolean(e.stale);
   }
 }
 
@@ -24,6 +25,7 @@ ProxyReport ProxyReport::decode(wire::ByteReader& r) {
     e.owd = r.duration();
     e.replication_latency = r.duration();
     e.failed = r.boolean();
+    e.stale = r.boolean();
   }
   return report;
 }
@@ -41,6 +43,7 @@ ProxyReport Proxy::snapshot() const {
     ProxyReport::Entry e;
     e.replica = r;
     e.failed = prober_.looks_failed(r);
+    e.stale = prober_.is_stale(r);
     if (!e.failed) {
       e.rtt = prober_.rtt_estimate(r);
       e.owd = prober_.owd_estimate(r);
@@ -101,6 +104,12 @@ bool ProxyFeed::looks_failed(NodeId target) const {
   if (!fresh()) return true;
   auto it = table_.find(target);
   return it == table_.end() || it->second.failed;
+}
+
+bool ProxyFeed::is_stale(NodeId target) const {
+  if (!fresh()) return true;
+  auto it = table_.find(target);
+  return it == table_.end() || it->second.stale;
 }
 
 }  // namespace domino::measure

@@ -40,6 +40,7 @@ struct ProxyReport {
     Duration owd = Duration::max();
     Duration replication_latency = Duration::max();
     bool failed = true;
+    bool stale = true;  // proxy's prober has not heard from it recently
   };
   double percentile = 95.0;
   std::vector<Entry> entries;
@@ -89,6 +90,9 @@ class ProxyFeed final : public LatencyView {
   [[nodiscard]] Duration owd_estimate(NodeId target, double percentile) const override;
   [[nodiscard]] Duration replication_latency_of(NodeId target) const override;
   [[nodiscard]] bool looks_failed(NodeId target) const override;
+  /// Stale when the snapshot itself is old, or the proxy's own prober
+  /// flagged the replica stale in the last report.
+  [[nodiscard]] bool is_stale(NodeId target) const override;
   [[nodiscard]] double default_percentile() const override { return percentile_; }
 
   [[nodiscard]] bool fresh() const;

@@ -25,8 +25,12 @@ struct Accept {
   static constexpr wire::MessageType kType = wire::MessageType::kMenciusAccept;
   std::uint64_t index = 0;
   sm::Command command;
-  /// The sender's own-lane frontier: every owned index < skip_through that
-  /// carries no command (on this FIFO channel's history) is a no-op.
+  /// The sender's own-lane frontier, specific to this receiver: every owned
+  /// index < skip_through that the receiver holds no command for is a
+  /// no-op. The sender only advertises a frontier covering instances this
+  /// receiver has acknowledged (plus genuinely unused ones), so the
+  /// guarantee survives packet loss from crashes and partitions — plain
+  /// FIFO ordering is not enough once a channel has dropped messages.
   std::uint64_t skip_through = 0;
 
   void encode(wire::ByteWriter& w) const {
@@ -63,9 +67,31 @@ struct AcceptReply {
 struct Commit {
   static constexpr wire::MessageType kType = wire::MessageType::kMenciusCommit;
   std::uint64_t index = 0;
+  /// The committed command rides along so a replica that missed the Accept
+  /// (crashed or partitioned at the time) can still materialize the entry;
+  /// a hole in a Mencius log would stall its execution frontier forever.
+  sm::Command command;
+
+  void encode(wire::ByteWriter& w) const {
+    w.varint(index);
+    command.encode(w);
+  }
+  static Commit decode(wire::ByteReader& r) {
+    Commit m;
+    m.index = r.varint();
+    m.command = sm::Command::decode(r);
+    return m;
+  }
+};
+
+/// Follower -> owner: confirms a Commit was received, so the owner can stop
+/// retransmitting it and drop the bookkeeping for that instance.
+struct CommitAck {
+  static constexpr wire::MessageType kType = wire::MessageType::kMenciusCommitAck;
+  std::uint64_t index = 0;
 
   void encode(wire::ByteWriter& w) const { w.varint(index); }
-  static Commit decode(wire::ByteReader& r) { return {r.varint()}; }
+  static CommitAck decode(wire::ByteReader& r) { return {r.varint()}; }
 };
 
 /// Heartbeat: advertises the sender's own-lane frontier so idle lanes do not

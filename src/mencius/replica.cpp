@@ -49,7 +49,10 @@ void Replica::on_packet(const net::Packet& packet) {
       handle_accept_reply(packet.src, packet.payload);
       break;
     case wire::MessageType::kMenciusCommit:
-      handle_commit(packet.payload);
+      handle_commit(packet.src, packet.payload);
+      break;
+    case wire::MessageType::kMenciusCommitAck:
+      handle_commit_ack(packet.src, packet.payload);
       break;
     case wire::MessageType::kMenciusSkip:
       handle_skip(packet.src, packet.payload);
@@ -67,12 +70,11 @@ void Replica::handle_client_request(const net::Packet& packet) {
   obs_proposals_.inc();
 
   log_.accept(p, req.command);
-  pending_.emplace(p, Pending{1, req.command.id.client, false});
+  pending_.emplace(p, Pending{{}, {}, req.command, req.command.id.client, false, true_now()});
   owned_request_.emplace(p, req.command.id);
 
-  Accept msg{p, req.command, p};
   for (NodeId r : replicas_) {
-    if (r != id()) send(r, msg);
+    if (r != id()) send(r, Accept{p, req.command, safe_skip_frontier(r)});
   }
 }
 
@@ -85,7 +87,7 @@ void Replica::handle_accept(NodeId from, const wire::Payload& payload) {
   // Receiving a proposal for index p implicitly promises to never use our
   // own unused instances below p.
   advance_own_lane(msg.index);
-  send(from, AcceptReply{msg.index, next_own_index_});
+  send(from, AcceptReply{msg.index, safe_skip_frontier(from)});
   execute_ready();
 }
 
@@ -98,23 +100,42 @@ void Replica::handle_accept_reply(NodeId from, const wire::Payload& payload) {
   }
   auto it = pending_.find(msg.index);
   if (it != pending_.end() && !it->second.committed) {
-    if (++it->second.acks >= measure::majority(replicas_.size())) {
+    auto& acked = it->second.acked;
+    if (std::find(acked.begin(), acked.end(), from) == acked.end()) acked.push_back(from);
+    if (acked.size() + 1 >= measure::majority(replicas_.size())) {
       it->second.committed = true;
+      it->second.last_sent = true_now();
       log_.commit(msg.index);
       obs_commits_.inc();
+      // The Pending entry stays until every peer CommitAcks: the owner
+      // retransmits the Commit to the stragglers from the heartbeat, so a
+      // follower that was crashed or partitioned at commit time still
+      // learns the command instead of stalling its execution frontier.
       for (NodeId r : replicas_) {
-        if (r != id()) send(r, Commit{msg.index});
+        if (r != id()) send(r, Commit{msg.index, it->second.command});
       }
-      pending_.erase(it);
     }
   }
   execute_ready();
 }
 
-void Replica::handle_commit(const wire::Payload& payload) {
+void Replica::handle_commit(NodeId from, const wire::Payload& payload) {
   const auto msg = wire::decode_message<Commit>(payload);
-  log_.commit(msg.index);
+  // The command rides on the Commit, so a replica that missed the Accept
+  // (dropped while it was crashed or partitioned) still materializes the
+  // entry; a hole here would stall its execution frontier forever.
+  log_.commit(msg.index, msg.command);
+  send(from, CommitAck{msg.index});
   execute_ready();
+}
+
+void Replica::handle_commit_ack(NodeId from, const wire::Payload& payload) {
+  const auto msg = wire::decode_message<CommitAck>(payload);
+  const auto it = pending_.find(msg.index);
+  if (it == pending_.end() || !it->second.committed) return;
+  auto& acked = it->second.commit_acked;
+  if (std::find(acked.begin(), acked.end(), from) == acked.end()) acked.push_back(from);
+  if (acked.size() + 1 >= replicas_.size()) pending_.erase(it);
 }
 
 void Replica::handle_skip(NodeId from, const wire::Payload& payload) {
@@ -143,6 +164,17 @@ void Replica::apply_skip_frontier(std::size_t owner_rank, std::uint64_t frontier
   seen = frontier;
 }
 
+std::uint64_t Replica::safe_skip_frontier(NodeId peer) const {
+  for (const auto& [index, p] : pending_) {
+    const bool peer_has_entry =
+        std::find(p.acked.begin(), p.acked.end(), peer) != p.acked.end() ||
+        std::find(p.commit_acked.begin(), p.commit_acked.end(), peer) !=
+            p.commit_acked.end();
+    if (!peer_has_entry) return index;  // pending_ is index-ordered
+  }
+  return next_own_index_;
+}
+
 void Replica::advance_own_lane(std::uint64_t index) {
   while (next_own_index_ < index) {
     log_.skip(next_own_index_, next_own_index_);
@@ -165,7 +197,28 @@ void Replica::execute_ready() {
 
 void Replica::broadcast_heartbeat() {
   for (NodeId r : replicas_) {
-    if (r != id()) send(r, Skip{next_own_index_});
+    if (r != id()) send(r, Skip{safe_skip_frontier(r)});
+  }
+  // Retransmit lost protocol steps. The original Accepts, their replies,
+  // or the Commit broadcast may have been dropped while a peer (or this
+  // replica) was crashed or partitioned, and Mencius's total commit order
+  // means one orphaned instance stalls every execution frontier in the
+  // cluster forever — so the owner keeps re-sending until each peer has
+  // acknowledged the Accept (uncommitted) or the Commit (committed).
+  for (auto& [index, p] : pending_) {
+    if (true_now() - p.last_sent < kAcceptRetransmitAfter) continue;
+    p.last_sent = true_now();
+    for (NodeId r : replicas_) {
+      if (r == id()) continue;
+      if (!p.committed) {
+        if (std::find(p.acked.begin(), p.acked.end(), r) == p.acked.end()) {
+          send(r, Accept{index, p.command, safe_skip_frontier(r)});
+        }
+      } else if (std::find(p.commit_acked.begin(), p.commit_acked.end(), r) ==
+                 p.commit_acked.end()) {
+        send(r, Commit{index, p.command});
+      }
+    }
   }
 }
 

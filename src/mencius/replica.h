@@ -54,8 +54,17 @@ class Replica : public rpc::Node {
   void handle_client_request(const net::Packet& packet);
   void handle_accept(NodeId from, const wire::Payload& payload);
   void handle_accept_reply(NodeId from, const wire::Payload& payload);
-  void handle_commit(const wire::Payload& payload);
+  void handle_commit(NodeId from, const wire::Payload& payload);
+  void handle_commit_ack(NodeId from, const wire::Payload& payload);
   void handle_skip(NodeId from, const wire::Payload& payload);
+
+  /// The largest own-lane frontier that is safe to advertise to `peer`:
+  /// every used owned instance below it has been acknowledged by that peer
+  /// (via AcceptReply or CommitAck), so the peer cannot mistake a used
+  /// instance it never received for a no-op. A global frontier would be
+  /// sound only on loss-free FIFO channels; crashes and partitions drop
+  /// packets, so the frontier must be per peer.
+  [[nodiscard]] std::uint64_t safe_skip_frontier(NodeId peer) const;
 
   /// Record that `owner_rank`'s unused owned instances below `frontier` are
   /// no-ops (marks the empty ones in the log).
@@ -68,6 +77,11 @@ class Replica : public rpc::Node {
   void execute_ready();
   void broadcast_heartbeat();
 
+  /// Re-send an Accept whose majority is overdue (covers replies dropped by
+  /// crashes/partitions). Comfortably above the widest NA/Globe RTT so
+  /// fault-free runs never retransmit.
+  static constexpr Duration kAcceptRetransmitAfter = milliseconds(400);
+
   std::vector<NodeId> replicas_;
   std::size_t rank_ = 0;
   Duration heartbeat_interval_;
@@ -79,11 +93,16 @@ class Replica : public rpc::Node {
   std::uint64_t next_own_index_ = 0;  // smallest unused owned instance
   std::vector<std::uint64_t> skip_frontier_seen_;  // per owner rank
 
-  // Owner-side pending instances: index -> (acks incl self, origin client).
+  // Owner-side pending instances: index -> (ack set, origin client). The
+  // ack set (rather than a count) makes Accept retransmission safe: a
+  // follower that re-replies after a retransmit is not counted twice.
   struct Pending {
-    std::size_t acks = 1;
+    std::vector<NodeId> acked;         // AcceptReply senders, self excluded
+    std::vector<NodeId> commit_acked;  // CommitAck senders, self excluded
+    sm::Command command;               // kept for retransmission
     NodeId client;
     bool committed = false;
+    TimePoint last_sent;  // last (re)transmission of the Accept/Commit
   };
   std::map<std::uint64_t, Pending> pending_;  // ordered: commit in index order
   std::unordered_map<std::uint64_t, RequestId> owned_request_;  // index -> request id

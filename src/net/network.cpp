@@ -8,7 +8,11 @@
 namespace domino::net {
 
 Network::Network(sim::Simulator& simulator, Topology topology, std::uint64_t seed)
-    : sim_(simulator), topology_(std::move(topology)), rng_(seed) {
+    : sim_(simulator),
+      topology_(std::move(topology)),
+      rng_(seed),
+      fault_(simulator, topology_.size(), seed) {
+  fault_.set_recover_hook([this](NodeId id) { reset_channels_of(id); });
   const std::size_t n = topology_.size();
   links_.resize(n);
   link_rngs_.reserve(n);
@@ -55,6 +59,7 @@ LatencyModel& Network::link_model(std::size_t from_dc, std::size_t to_dc) {
 
 void Network::bind_obs(const obs::Sink& sink) {
   obs_ = sink;
+  fault_.bind_obs(sink);
   obs_dropped_ = sink.counter("net.packets_dropped");
   const std::size_t n = topology_.size();
   link_obs_.assign(n, std::vector<LinkObs>(n));
@@ -69,15 +74,21 @@ void Network::bind_obs(const obs::Sink& sink) {
   }
 }
 
-void Network::count_drop(NodeId src, NodeId dst, std::size_t bytes) {
+void Network::count_drop(DropReason reason, NodeId src, NodeId dst, std::size_t bytes) {
   ++packets_dropped_;
   obs_dropped_.inc();
-  if (obs_.tracing()) {
-    obs_.record(obs::TraceEvent{.at = sim_.now(),
-                                .kind = obs::EventKind::kMessageDrop,
-                                .node = src,
-                                .peer = dst,
-                                .value = static_cast<std::int64_t>(bytes)});
+  // The injector owns the per-reason counters, the fault/drop digest, and
+  // the (reason-tagged) trace event.
+  fault_.count_drop(reason, sim_.now(), src, dst, bytes);
+}
+
+void Network::reset_channels_of(NodeId id) {
+  for (auto it = channel_last_delivery_.begin(); it != channel_last_delivery_.end();) {
+    if (it->first.src == id || it->first.dst == id) {
+      it = channel_last_delivery_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -116,8 +127,10 @@ void Network::send(NodeId src, NodeId dst, wire::Payload payload) {
   NodeInfo& s = info(src);
   NodeInfo& d = info(dst);
   const std::size_t bytes = payload.size() + kFrameOverheadBytes;
-  if (crashed_.contains(src) || crashed_.contains(dst)) {
-    count_drop(src, dst, bytes);
+  // Single drop decision point: crashes and partitions, with the reason.
+  if (const DropReason reason = fault_.drop_reason(src, s.dc, dst, d.dc);
+      reason != DropReason::kNone) {
+    count_drop(reason, src, dst, bytes);
     return;
   }
 
@@ -135,7 +148,11 @@ void Network::send(NodeId src, NodeId dst, wire::Payload payload) {
     s.tx_busy_until = tx_done;
   }
 
-  const Duration owd = links_[s.dc][d.dc]->sample(now, link_rngs_[s.dc][d.dc]);
+  // Sample the link model, then let the fault layer deform the delay
+  // (route-change base shift, degradation multiplier + extra spikes).
+  const Duration owd =
+      fault_.deform(s.dc, d.dc, links_[s.dc][d.dc]->sample(now, link_rngs_[s.dc][d.dc]),
+                    links_[s.dc][d.dc]->base(now));
   TimePoint arrival = tx_done + owd;
 
   // FIFO channel: never deliver before (or at the same instant as) an
@@ -172,9 +189,13 @@ void Network::send(NodeId src, NodeId dst, wire::Payload payload) {
 
   sim_.schedule_at(deliver_at,
                    [this, pkt = Packet{src, dst, now, std::move(payload)}, dst,
-                    bytes]() mutable {
-                     if (crashed_.contains(dst) || crashed_.contains(pkt.src)) {
-                       count_drop(pkt.src, dst, bytes);
+                    src_dc = s.dc, dst_dc = d.dc, bytes]() mutable {
+                     // Re-check at delivery: a crash or partition that began
+                     // while the packet was in flight still loses it.
+                     if (const DropReason reason =
+                             fault_.drop_reason(pkt.src, src_dc, dst, dst_dc);
+                         reason != DropReason::kNone) {
+                       count_drop(reason, pkt.src, dst, bytes);
                        return;
                      }
                      if (obs_.tracing()) {

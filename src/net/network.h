@@ -10,19 +10,21 @@
 //   - optional capacity modelling: per-node receive service time (CPU cost
 //     per message) and egress bandwidth, used by the peak-throughput
 //     experiment (Figure 13),
-//   - crash-failure injection.
+//   - a FaultInjector (net/fault.h): the single drop/deform decision point
+//     for crash failures, directed link partitions, degradation epochs and
+//     route changes.
 #pragma once
 
 #include <functional>
 #include <map>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/time.h"
+#include "net/fault.h"
 #include "net/latency_model.h"
 #include "net/packet.h"
 #include "net/topology.h"
@@ -68,14 +70,28 @@ class Network {
   void set_egress_bandwidth_bps(NodeId id, double bits_per_second);
 
   /// Crash-failure injection: a crashed node neither sends nor receives.
-  void crash(NodeId id) { crashed_.insert(id); }
-  void recover(NodeId id) { crashed_.erase(id); }
-  [[nodiscard]] bool is_crashed(NodeId id) const { return crashed_.contains(id); }
+  /// Recovery resets the node's FIFO channel bookkeeping, so post-recovery
+  /// packets are never delayed behind deliveries from before the crash.
+  void crash(NodeId id) { fault_.crash(id); }
+  void recover(NodeId id) { fault_.recover(id); }
+  [[nodiscard]] bool is_crashed(NodeId id) const { return fault_.is_crashed(id); }
+
+  /// The fault-injection state machine: partitions, degradation epochs,
+  /// route changes, per-reason drop counters, and the fault/drop digest.
+  [[nodiscard]] FaultInjector& fault() { return fault_; }
+  [[nodiscard]] const FaultInjector& fault() const { return fault_; }
+
+  /// Schedule a whole fault timeline on the simulator (declarative form
+  /// used by harness::Scenario).
+  void install_faults(const FaultSchedule& schedule) { fault_.install(schedule); }
 
   // Traffic statistics.
   [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
   [[nodiscard]] std::uint64_t packets_dropped() const { return packets_dropped_; }
+  [[nodiscard]] std::uint64_t packets_dropped(DropReason reason) const {
+    return fault_.drops(reason);
+  }
 
   /// Attach an observability sink. Registers per-directed-datacenter-link
   /// message/byte counters and delivery-delay histograms, traces every
@@ -113,7 +129,10 @@ class Network {
 
   NodeInfo& info(NodeId id);
   [[nodiscard]] const NodeInfo& info(NodeId id) const;
-  void count_drop(NodeId src, NodeId dst, std::size_t bytes);
+  void count_drop(DropReason reason, NodeId src, NodeId dst, std::size_t bytes);
+  /// Forget FIFO delivery state on every channel touching `id` (called on
+  /// recovery; pre-crash deliveries must not delay post-recovery traffic).
+  void reset_channels_of(NodeId id);
 
   sim::Simulator& sim_;
   Topology topology_;
@@ -122,7 +141,7 @@ class Network {
   std::vector<std::vector<Rng>> link_rngs_;
   std::unordered_map<NodeId, NodeInfo> nodes_;
   std::map<ChannelKey, TimePoint> channel_last_delivery_;
-  std::unordered_set<NodeId> crashed_;
+  FaultInjector fault_;
 
   std::uint64_t packets_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;

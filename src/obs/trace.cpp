@@ -16,6 +16,15 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kMessageSend: return "msg_send";
     case EventKind::kMessageDeliver: return "msg_deliver";
     case EventKind::kMessageDrop: return "msg_drop";
+    case EventKind::kNodeCrash: return "node_crash";
+    case EventKind::kNodeRecover: return "node_recover";
+    case EventKind::kLinkPartition: return "link_partition";
+    case EventKind::kLinkHeal: return "link_heal";
+    case EventKind::kLinkDegrade: return "link_degrade";
+    case EventKind::kLinkRestore: return "link_restore";
+    case EventKind::kRouteChange: return "route_change";
+    case EventKind::kClientRetry: return "client_retry";
+    case EventKind::kClientAbandon: return "client_abandon";
   }
   return "?";
 }

@@ -27,7 +27,16 @@ enum class EventKind : std::uint8_t {
   kProbeRecv,            // measurement probe reply received
   kMessageSend,          // transport accepted a packet
   kMessageDeliver,       // transport delivered a packet
-  kMessageDrop,          // transport dropped a packet (crash, ...)
+  kMessageDrop,          // transport dropped a packet (detail = net::DropReason)
+  kNodeCrash,            // fault injector crashed a node
+  kNodeRecover,          // fault injector recovered a node
+  kLinkPartition,        // directed dc link partitioned (node/peer = dc indices)
+  kLinkHeal,             // directed dc link healed
+  kLinkDegrade,          // degradation epoch began (value = multiplier x1000)
+  kLinkRestore,          // degradation epoch ended
+  kRouteChange,          // permanent base-delay change (value = new base ns)
+  kClientRetry,          // client re-proposed a timed-out request
+  kClientAbandon,        // client gave up on a request (retries exhausted)
 };
 
 [[nodiscard]] const char* event_kind_name(EventKind kind);
@@ -39,6 +48,7 @@ struct TraceEvent {
   NodeId peer = NodeId::invalid();    // counterpart, if any
   RequestId request{NodeId::invalid(), 0};  // subject request, if any
   std::uint16_t msg_type = 0;         // wire::MessageType tag, 0 if n/a
+  std::uint8_t detail = 0;            // kind-specific code (e.g. drop reason)
   std::int64_t value = 0;             // kind-specific (bytes, delay ns, ts)
 };
 

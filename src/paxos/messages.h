@@ -47,9 +47,21 @@ struct AcceptReply {
 struct Commit {
   static constexpr wire::MessageType kType = wire::MessageType::kPaxosCommit;
   std::uint64_t index = 0;
+  /// The committed command rides along so a follower that missed the Accept
+  /// (crashed or partitioned at the time) can still materialize the entry
+  /// instead of carrying a permanent hole in its log.
+  sm::Command command;
 
-  void encode(wire::ByteWriter& w) const { w.varint(index); }
-  static Commit decode(wire::ByteReader& r) { return {r.varint()}; }
+  void encode(wire::ByteWriter& w) const {
+    w.varint(index);
+    command.encode(w);
+  }
+  static Commit decode(wire::ByteReader& r) {
+    Commit m;
+    m.index = r.varint();
+    m.command = sm::Command::decode(r);
+    return m;
+  }
 };
 
 struct ClientReply {

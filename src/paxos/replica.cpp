@@ -65,21 +65,26 @@ void Replica::handle_accept_reply(const wire::Payload& payload) {
 
   // Reply to the client and notify followers (asynchronously, i.e. the
   // client does not wait for follower commits).
+  const auto* entry = log_.entry(msg.index);
   const auto origin_it = origin_.find(msg.index);
   if (origin_it != origin_.end()) {
-    const auto* entry = log_.entry(msg.index);
     if (entry != nullptr) send(origin_it->second, ClientReply{entry->command.id});
     origin_.erase(origin_it);
   }
-  for (NodeId r : replicas_) {
-    if (r != id()) send(r, Commit{msg.index});
+  if (entry != nullptr) {
+    for (NodeId r : replicas_) {
+      if (r != id()) send(r, Commit{msg.index, entry->command});
+    }
   }
   execute_ready();
 }
 
 void Replica::handle_commit(const wire::Payload& payload) {
   const auto msg = wire::decode_message<Commit>(payload);
-  log_.commit(msg.index);
+  // The command rides on the Commit, so a follower that missed the Accept
+  // (dropped while it was crashed or partitioned) still materializes the
+  // entry instead of carrying a permanent hole.
+  log_.commit(msg.index, msg.command);
   execute_ready();
 }
 

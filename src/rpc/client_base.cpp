@@ -4,15 +4,19 @@ namespace domino::rpc {
 
 ClientBase::ClientBase(NodeId id, std::size_t dc, net::Network& network, sim::LocalClock clock)
     : Node(id, dc, network, clock) {
-  obs_submitted_ = obs_sink().counter("client.submitted");
-  obs_committed_ = obs_sink().counter("client.committed");
-  obs_commit_latency_ = obs_sink().histogram("client.commit_latency_ns");
+  init_obs();
 }
 
 ClientBase::ClientBase(NodeId id, std::size_t dc, Context& context, sim::LocalClock clock)
     : Node(id, dc, context, clock) {
+  init_obs();
+}
+
+void ClientBase::init_obs() {
   obs_submitted_ = obs_sink().counter("client.submitted");
   obs_committed_ = obs_sink().counter("client.committed");
+  obs_retries_ = obs_sink().counter("client.retries");
+  obs_abandoned_ = obs_sink().counter("client.abandoned");
   obs_commit_latency_ = obs_sink().histogram("client.commit_latency_ns");
 }
 
@@ -25,6 +29,11 @@ void ClientBase::start_load(sm::WorkloadGenerator& workload, double rps) {
 
 void ClientBase::stop_load() { load_timer_.stop(); }
 
+void ClientBase::set_request_timeout(Duration timeout, std::size_t max_retries) {
+  request_timeout_ = timeout;
+  max_retries_ = max_retries;
+}
+
 void ClientBase::submit(sm::Command command) {
   ++submitted_;
   sent_at_.emplace(command.id, true_now());
@@ -36,6 +45,58 @@ void ClientBase::submit(sm::Command command) {
                                       .request = command.id});
   }
   if (send_hook_) send_hook_(command.id, true_now());
+  if (request_timeout_ > Duration::zero()) {
+    const RequestId rid = command.id;
+    pending_.emplace(rid, PendingRequest{command, 0});
+    propose(command);
+    arm_timeout(rid, 0);
+    return;
+  }
+  propose(command);
+}
+
+void ClientBase::arm_timeout(const RequestId& id, std::size_t attempt) {
+  after(request_timeout_, [this, id, attempt] {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;           // committed meanwhile
+    if (it->second.attempts != attempt) return;  // stale timer from an older attempt
+    if (attempt >= max_retries_) {
+      // Out of retry budget: give up, but keep the books balanced so
+      // submitted == committed + abandoned + inflight still holds.
+      const sm::Command command = it->second.command;
+      pending_.erase(it);
+      sent_at_.erase(id);
+      abandoned_seqs_.insert(id.seq);
+      ++abandoned_;
+      obs_abandoned_.inc();
+      if (obs_sink().tracing()) {
+        obs_sink().record(obs::TraceEvent{.at = true_now(),
+                                          .kind = obs::EventKind::kClientAbandon,
+                                          .node = this->id(),
+                                          .request = id,
+                                          .value = static_cast<std::int64_t>(attempt)});
+      }
+      return;
+    }
+    const std::size_t next_attempt = attempt + 1;
+    it->second.attempts = next_attempt;
+    ++retries_;
+    obs_retries_.inc();
+    if (obs_sink().tracing()) {
+      obs_sink().record(obs::TraceEvent{.at = true_now(),
+                                        .kind = obs::EventKind::kClientRetry,
+                                        .node = this->id(),
+                                        .request = id,
+                                        .value = static_cast<std::int64_t>(next_attempt)});
+    }
+    // Copy the command: on_request_timeout may re-enter and mutate pending_.
+    const sm::Command command = it->second.command;
+    on_request_timeout(command, next_attempt);
+    arm_timeout(id, next_attempt);
+  });
+}
+
+void ClientBase::on_request_timeout(const sm::Command& command, std::size_t /*attempt*/) {
   propose(command);
 }
 
@@ -44,6 +105,13 @@ void ClientBase::handle_committed(const RequestId& id) {
   if (!done_seqs_.insert(id.seq).second) return;  // duplicate notification
   ++committed_;
   obs_committed_.inc();
+  pending_.erase(id);
+  if (abandoned_seqs_.erase(id.seq) > 0) {
+    // A retry we had given up on came through after all; un-count the
+    // abandonment so the accounting invariant keeps holding. (The obs
+    // counter stays monotonic: it counts abandon *events*, not the net.)
+    --abandoned_;
+  }
   auto it = sent_at_.find(id);
   if (it == sent_at_.end()) return;
   const TimePoint sent = it->second;

@@ -3,7 +3,13 @@
 // A protocol client derives from ClientBase and implements propose().
 // ClientBase provides the open-loop load generator (the paper's clients
 // send a fixed 200 requests/second, Section 7.1), send-time bookkeeping,
-// commit dedup, and the commit-latency hook the evaluation harness taps.
+// commit dedup, the commit-latency hook the evaluation harness taps, and —
+// when enabled via set_request_timeout() — a generic per-request timeout
+// with retries: a request that has not committed within the timeout is
+// handed to on_request_timeout() (default: re-propose), up to a bounded
+// number of attempts, after which it is abandoned and accounted for. The
+// invariant  submitted == committed + abandoned + inflight  always holds,
+// which is what the chaos tests' liveness accounting checks.
 #pragma once
 
 #include <functional>
@@ -37,29 +43,63 @@ class ClientBase : public Node {
   /// Submit one command now (records its send time, then calls propose()).
   void submit(sm::Command command);
 
+  /// Enable the per-request timeout: a request that has not committed
+  /// `timeout` after its last (re-)proposal is retried via
+  /// on_request_timeout(), at most `max_retries` times, then abandoned.
+  /// Duration::zero() disables (the default).
+  void set_request_timeout(Duration timeout, std::size_t max_retries = 3);
+  [[nodiscard]] Duration request_timeout() const { return request_timeout_; }
+
   [[nodiscard]] std::uint64_t submitted_count() const { return submitted_; }
   [[nodiscard]] std::uint64_t committed_count() const { return committed_; }
   [[nodiscard]] std::uint64_t inflight_count() const { return sent_at_.size(); }
+  /// Timed-out re-proposals issued so far.
+  [[nodiscard]] std::uint64_t retry_count() const { return retries_; }
+  /// Requests given up on after exhausting retries (each is accounted for:
+  /// submitted == committed + abandoned + inflight).
+  [[nodiscard]] std::uint64_t abandoned_count() const { return abandoned_; }
 
  protected:
   /// Protocol-specific proposal path.
   virtual void propose(const sm::Command& command) = 0;
+
+  /// Called when a request times out with retry budget left. `attempt` is
+  /// 1 for the first retry. The default re-proposes the command unchanged;
+  /// protocol clients override this to fail over (e.g. Domino re-routes a
+  /// timed-out DFP request through DM).
+  virtual void on_request_timeout(const sm::Command& command, std::size_t attempt);
 
   /// Protocol clients call this when they learn a request committed.
   /// Duplicate notifications are ignored.
   void handle_committed(const RequestId& id);
 
  private:
+  struct PendingRequest {
+    sm::Command command;
+    std::size_t attempts = 0;  // retries issued so far
+  };
+
+  void arm_timeout(const RequestId& id, std::size_t attempt);
+  void init_obs();
+
   CommitHook commit_hook_;
   SendHook send_hook_;
   RepeatingTimer load_timer_;
   obs::CounterHandle obs_submitted_;
   obs::CounterHandle obs_committed_;
+  obs::CounterHandle obs_retries_;
+  obs::CounterHandle obs_abandoned_;
   obs::HistogramHandle obs_commit_latency_;
   std::unordered_map<RequestId, TimePoint> sent_at_;  // true send time
   std::unordered_set<std::uint64_t> done_seqs_;       // committed request seqs
+  std::unordered_map<RequestId, PendingRequest> pending_;  // timeout-tracked
+  std::unordered_set<std::uint64_t> abandoned_seqs_;  // for late-commit fixup
+  Duration request_timeout_ = Duration::zero();       // zero = disabled
+  std::size_t max_retries_ = 0;
   std::uint64_t submitted_ = 0;
   std::uint64_t committed_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t abandoned_ = 0;
 };
 
 }  // namespace domino::rpc

@@ -48,6 +48,7 @@ class Context {
 class RepeatingTimer {
  public:
   RepeatingTimer() = default;
+  ~RepeatingTimer() { stop(); }
 
   /// Start firing `tick` every `interval`, first after `initial`. Any
   /// previous schedule is cancelled.
@@ -55,26 +56,33 @@ class RepeatingTimer {
              std::function<void()> tick) {
     stop();
     alive_ = std::make_shared<bool>(true);
+    // The timer object owns the reschedule closure; the closure holds only
+    // a weak reference to itself. A self-owning shared_ptr cycle here would
+    // keep every timer closure alive forever (it shows up as a leak under
+    // LeakSanitizer once a run finishes with timers still armed).
+    fire_ = std::make_shared<std::function<void()>>();
     auto alive = alive_;
-    auto fire = std::make_shared<std::function<void()>>();
-    *fire = [&context, interval, tick = std::move(tick), alive, fire]() {
+    std::weak_ptr<std::function<void()>> weak_fire = fire_;
+    *fire_ = [&context, interval, tick = std::move(tick), alive, weak_fire]() {
       if (!*alive) return;
       tick();
       if (!*alive) return;
-      context.schedule(interval, *fire);
+      if (auto fire = weak_fire.lock()) context.schedule(interval, *fire);
     };
-    context.schedule(initial, *fire);
+    context.schedule(initial, *fire_);
   }
 
   void stop() {
     if (alive_) *alive_ = false;
     alive_.reset();
+    fire_.reset();
   }
 
   [[nodiscard]] bool running() const { return alive_ && *alive_; }
 
  private:
   std::shared_ptr<bool> alive_;
+  std::shared_ptr<std::function<void()>> fire_;
 };
 
 }  // namespace domino::rpc

@@ -21,4 +21,25 @@ std::optional<std::string> KvStore::get(const std::string& key) const {
   return it->second;
 }
 
+std::uint64_t KvStore::fingerprint() const {
+  // FNV-1a per entry, combined with wrapping addition so the result does
+  // not depend on the unordered_map's iteration order.
+  std::uint64_t total = 0;
+  for (const auto& [key, value] : data_) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](const std::string& s) {
+      for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+      }
+      h ^= 0xff;  // separator so ("ab","c") != ("a","bc")
+      h *= 0x100000001b3ull;
+    };
+    mix(key);
+    mix(value);
+    total += h;
+  }
+  return total;
+}
+
 }  // namespace domino::sm

@@ -1,6 +1,7 @@
 // In-memory key-value store: the replicated state machine.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -23,6 +24,11 @@ class KvStore {
   [[nodiscard]] const std::unordered_map<std::string, std::string>& items() const {
     return data_;
   }
+
+  /// Order-independent content hash: equal iff two stores hold the same
+  /// key/value pairs, regardless of insertion order or duplicate applies.
+  /// The chaos harness compares replica fingerprints for convergence.
+  [[nodiscard]] std::uint64_t fingerprint() const;
 
  private:
   std::unordered_map<std::string, std::string> data_;

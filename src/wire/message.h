@@ -33,6 +33,7 @@ enum class MessageType : std::uint16_t {
   kMenciusSkip = 24,
   kMenciusClientReply = 25,
   kMenciusExecuted = 26,
+  kMenciusCommitAck = 27,
 
   // EPaxos (src/epaxos)
   kEpaxosClientRequest = 30,
@@ -100,6 +101,7 @@ enum class MessageType : std::uint16_t {
     case MessageType::kMenciusSkip: return "MenciusSkip";
     case MessageType::kMenciusClientReply: return "MenciusClientReply";
     case MessageType::kMenciusExecuted: return "MenciusExecuted";
+    case MessageType::kMenciusCommitAck: return "MenciusCommitAck";
     case MessageType::kEpaxosClientRequest: return "EpaxosClientRequest";
     case MessageType::kEpaxosPreAccept: return "EpaxosPreAccept";
     case MessageType::kEpaxosPreAcceptReply: return "EpaxosPreAcceptReply";

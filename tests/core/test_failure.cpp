@@ -129,6 +129,99 @@ TEST_F(FailureCluster, DeadDmLeaderEntriesSurviveIfReplicated) {
   EXPECT_EQ(replicas[0]->store().items(), replicas[1]->store().items());
 }
 
+TEST_F(FailureCluster, LaneRevocationUnderPartitionThenHeal) {
+  warmup();
+  // Cut DC C (replica 2) off from every other datacenter for 2 s, via the
+  // fault scheduler: [1.5 s, 3.5 s).
+  const TimePoint start = TimePoint::epoch() + milliseconds(1500);
+  net::FaultSchedule s;
+  for (std::size_t dc : {0u, 1u, 3u}) {
+    s.partition_both_for(start, 2, dc, seconds(2));
+  }
+  network.install_faults(s);
+
+  // 600 ms into the partition the failure detector (500 ms) has fired.
+  simulator.run_until(start + milliseconds(600));
+  EXPECT_TRUE(client->view().is_stale(rids[2]));
+  for (std::uint64_t q = 0; q < 10; ++q) {
+    client->submit(make_command(client->id(), q, "k" + std::to_string(q), "v"));
+  }
+  simulator.run_until(TimePoint::epoch() + seconds(3));
+  // The partitioned replica's DM lane is revoked, so the survivors' global
+  // frontier keeps advancing and everything commits.
+  EXPECT_EQ(client->committed_count(), 10u);
+  EXPECT_EQ(replicas[0]->store().items(), replicas[1]->store().items());
+  EXPECT_GT(network.packets_dropped(net::DropReason::kPartition), 0u);
+
+  // After the heal the probe feed refreshes: the replica stops looking
+  // stale and DFP becomes estimable again.
+  simulator.run_until(TimePoint::epoch() + seconds(5));
+  EXPECT_FALSE(client->view().is_stale(rids[2]));
+  EXPECT_NE(client->estimates().dfp, Duration::max());
+  client->submit(make_command(client->id(), 100, "after", "heal"));
+  simulator.run_until(TimePoint::epoch() + seconds(7));
+  EXPECT_EQ(client->committed_count(), 11u);
+}
+
+TEST_F(FailureCluster, DfpPartitionTimeoutFailsOverToDm) {
+  ClientConfig cc;
+  cc.mode = ClientConfig::Mode::kDfpOnly;
+  cc.additional_delay = milliseconds(1);
+  auto dfp_client = std::make_unique<Client>(NodeId{1001}, 3, network, rids, cc);
+  dfp_client->attach();
+  dfp_client->start();
+  dfp_client->set_request_timeout(milliseconds(200), /*max_retries=*/2);
+  warmup();
+  simulator.run_until(TimePoint::epoch() + seconds(2));
+
+  // Submit a DFP request, then cut the client's DC off from the
+  // coordinator's DC while the proposals are in flight: the fast path
+  // cannot reach the client (accept notices from A are lost) and neither
+  // can the coordinator's slow-path reply.
+  dfp_client->submit(make_command(dfp_client->id(), 0, "fo", "dm"));
+  simulator.schedule_after(milliseconds(1), [&] {
+    network.fault().partition(3, 0);
+    network.fault().partition(0, 3);
+  });
+  simulator.run_until(TimePoint::epoch() + seconds(4));
+
+  // The per-request timeout re-routed the request through DM on a live
+  // leader (replica A's feed went stale behind the partition, so it was
+  // skipped), and the DM reply reached the client directly.
+  EXPECT_EQ(dfp_client->committed_count(), 1u);
+  EXPECT_EQ(dfp_client->dfp_failovers(), 1u);
+  EXPECT_GE(dfp_client->retry_count(), 1u);
+  EXPECT_EQ(replicas[1]->store().get("fo"), "dm");
+}
+
+TEST_F(FailureCluster, DmLeaderCrashFailsOverViaTimeout) {
+  ClientConfig cc;
+  cc.mode = ClientConfig::Mode::kDmOnly;
+  auto dm_client = std::make_unique<Client>(NodeId{1001}, 3, network, rids, cc);
+  dm_client->attach();
+  dm_client->start();
+  dm_client->set_request_timeout(milliseconds(150), /*max_retries=*/3);
+  warmup();
+  simulator.run_until(TimePoint::epoch() + seconds(2));
+
+  // Crash the leader the client is about to use, then submit immediately —
+  // before any staleness can be observed, so the requests really do chase
+  // the dead leader first.
+  const NodeId leader = dm_client->estimates().dm_leader;
+  ASSERT_TRUE(leader.valid());
+  network.crash(leader);
+  for (std::uint64_t q = 0; q < 5; ++q) {
+    dm_client->submit(make_command(dm_client->id(), q, "c" + std::to_string(q), "v"));
+  }
+  simulator.run_until(TimePoint::epoch() + seconds(6));
+
+  // Each request timed out once, and the retry picked a non-stale leader
+  // (the dead one's probe feed went quiet within a few probe intervals).
+  EXPECT_EQ(dm_client->committed_count(), 5u);
+  EXPECT_GE(dm_client->retry_count(), 5u);
+  EXPECT_EQ(dm_client->abandoned_count(), 0u);
+}
+
 TEST_F(FailureCluster, SustainedLoadAcrossCrash) {
   warmup();
   sm::WorkloadConfig wc;

@@ -119,5 +119,146 @@ TEST(ClientBase, ZeroRateIsNoop) {
   EXPECT_EQ(c.submitted_count(), 0u);
 }
 
+/// Client that silently drops the first `drop_first` proposals, then
+/// behaves like LoopbackClient (self-commit after a fixed delay).
+class FlakyClient : public ClientBase {
+ public:
+  FlakyClient(NodeId id, net::Network& network, Duration commit_delay,
+              std::size_t drop_first)
+      : ClientBase(id, 0, network, sim::LocalClock{}),
+        delay_(commit_delay),
+        drop_remaining_(drop_first) {}
+
+  std::size_t proposals = 0;
+
+ protected:
+  void propose(const sm::Command& command) override {
+    ++proposals;
+    if (drop_remaining_ > 0) {
+      --drop_remaining_;
+      return;  // lost: nothing will commit this attempt
+    }
+    after(delay_, [this, id = command.id] { handle_committed(id); });
+  }
+  void on_packet(const net::Packet&) override {}
+
+ private:
+  Duration delay_;
+  std::size_t drop_remaining_;
+};
+
+sm::Command command_for(NodeId client, std::uint64_t seq) {
+  sm::Command cmd;
+  cmd.id = RequestId{client, seq};
+  cmd.key = "k";
+  cmd.value = "v";
+  return cmd;
+}
+
+TEST(ClientBase, TimeoutRetriesUntilCommit) {
+  sim::Simulator simulator;
+  net::Network network(simulator, one_dc(), 1);
+  FlakyClient c(NodeId{1000}, network, milliseconds(5), /*drop_first=*/2);
+  c.attach();
+  c.set_request_timeout(milliseconds(20), /*max_retries=*/3);
+
+  c.submit(command_for(NodeId{1000}, 0));
+  simulator.run();
+
+  // Initial proposal + 2 retries before one gets through and commits.
+  EXPECT_EQ(c.proposals, 3u);
+  EXPECT_EQ(c.retry_count(), 2u);
+  EXPECT_EQ(c.committed_count(), 1u);
+  EXPECT_EQ(c.abandoned_count(), 0u);
+  EXPECT_EQ(c.inflight_count(), 0u);
+}
+
+TEST(ClientBase, AbandonsAfterMaxRetries) {
+  sim::Simulator simulator;
+  net::Network network(simulator, one_dc(), 1);
+  FlakyClient c(NodeId{1000}, network, milliseconds(5), /*drop_first=*/100);
+  c.attach();
+  c.set_request_timeout(milliseconds(20), /*max_retries=*/2);
+
+  c.submit(command_for(NodeId{1000}, 0));
+  simulator.run();
+
+  EXPECT_EQ(c.proposals, 3u);  // initial + 2 retries, all lost
+  EXPECT_EQ(c.retry_count(), 2u);
+  EXPECT_EQ(c.committed_count(), 0u);
+  EXPECT_EQ(c.abandoned_count(), 1u);
+  EXPECT_EQ(c.inflight_count(), 0u);
+  // submitted == committed + abandoned + inflight.
+  EXPECT_EQ(c.submitted_count(),
+            c.committed_count() + c.abandoned_count() + c.inflight_count());
+}
+
+TEST(ClientBase, LateCommitAfterAbandonIsUncounted) {
+  sim::Simulator simulator;
+  net::Network network(simulator, one_dc(), 1);
+  // Commits do arrive, but far later than the timeout budget allows.
+  LoopbackClient c(NodeId{1000}, network, milliseconds(200));
+  c.attach();
+  c.set_request_timeout(milliseconds(10), /*max_retries=*/0);
+
+  c.submit(command_for(NodeId{1000}, 0));
+  simulator.run_until(TimePoint::epoch() + milliseconds(50));
+  EXPECT_EQ(c.abandoned_count(), 1u);  // timed out at 10 ms, no retries
+
+  simulator.run();  // the 200 ms self-commit lands
+  EXPECT_EQ(c.committed_count(), 1u);
+  EXPECT_EQ(c.abandoned_count(), 0u);  // late commit corrects the books
+  EXPECT_EQ(c.submitted_count(),
+            c.committed_count() + c.abandoned_count() + c.inflight_count());
+}
+
+TEST(ClientBase, NoRetryWhenCommitBeatsTimeout) {
+  sim::Simulator simulator;
+  net::Network network(simulator, one_dc(), 1);
+  LoopbackClient c(NodeId{1000}, network, milliseconds(5));
+  c.attach();
+  c.set_request_timeout(milliseconds(50), /*max_retries=*/3);
+
+  c.submit(command_for(NodeId{1000}, 0));
+  simulator.run();
+
+  EXPECT_EQ(c.proposed.size(), 1u);
+  EXPECT_EQ(c.retry_count(), 0u);
+  EXPECT_EQ(c.committed_count(), 1u);
+}
+
+TEST(ClientBase, CustomTimeoutHookOverridesDefault) {
+  sim::Simulator simulator;
+  net::Network network(simulator, one_dc(), 1);
+
+  class FailoverClient : public ClientBase {
+   public:
+    FailoverClient(NodeId id, net::Network& network)
+        : ClientBase(id, 0, network, sim::LocalClock{}) {}
+    std::vector<std::size_t> failover_attempts;
+
+   protected:
+    void propose(const sm::Command&) override {}  // primary path: black hole
+    void on_request_timeout(const sm::Command& command, std::size_t attempt) override {
+      failover_attempts.push_back(attempt);
+      // "Backup path" commits immediately.
+      handle_committed(command.id);
+    }
+    void on_packet(const net::Packet&) override {}
+  };
+
+  FailoverClient c(NodeId{1000}, network);
+  c.attach();
+  c.set_request_timeout(milliseconds(10), /*max_retries=*/3);
+  c.submit(command_for(NodeId{1000}, 0));
+  simulator.run();
+
+  ASSERT_EQ(c.failover_attempts.size(), 1u);
+  EXPECT_EQ(c.failover_attempts[0], 1u);
+  EXPECT_EQ(c.committed_count(), 1u);
+  EXPECT_EQ(c.retry_count(), 1u);
+  EXPECT_EQ(c.abandoned_count(), 0u);
+}
+
 }  // namespace
 }  // namespace domino::rpc

@@ -67,7 +67,9 @@ TEST(PaxosMessages, AllRoundTrip) {
   EXPECT_EQ(a.index, 9u);
   EXPECT_EQ(a.command, test_command());
   EXPECT_EQ(round_trip(paxos::AcceptReply{5}).index, 5u);
-  EXPECT_EQ(round_trip(paxos::Commit{6}).index, 6u);
+  const auto c = round_trip(paxos::Commit{6, test_command()});
+  EXPECT_EQ(c.index, 6u);
+  EXPECT_EQ(c.command, test_command());  // rides along for late learners
   EXPECT_EQ(round_trip(paxos::ClientReply{test_command().id}).request, test_command().id);
 }
 
@@ -78,7 +80,10 @@ TEST(MenciusMessages, AllRoundTrip) {
   EXPECT_EQ(a.skip_through, 12u);
   const auto ar = round_trip(mencius::AcceptReply{12, 15});
   EXPECT_EQ(ar.skip_through, 15u);
-  EXPECT_EQ(round_trip(mencius::Commit{4}).index, 4u);
+  const auto c = round_trip(mencius::Commit{4, test_command()});
+  EXPECT_EQ(c.index, 4u);
+  EXPECT_EQ(c.command, test_command());  // rides along for late learners
+  EXPECT_EQ(round_trip(mencius::CommitAck{7}).index, 7u);
   EXPECT_EQ(round_trip(mencius::Skip{33}).skip_through, 33u);
   EXPECT_EQ(round_trip(mencius::ClientReply{test_command().id}).request, test_command().id);
 }
