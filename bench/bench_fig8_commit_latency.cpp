@@ -46,6 +46,12 @@ void run_setting(const char* name, const char* json_path, harness::Scenario s,
                            dom.commit_ms.percentile(50) <= epx.commit_ms.percentile(50) &&
                            dom.commit_ms.percentile(50) <= mp.commit_ms.percentile(50);
   std::printf("Domino lowest median: %s\n", domino_wins ? "yes" : "NO");
+  // Where the latency goes: a shorter traced run attributes each committed
+  // command's latency to commit-path phases (transit, quorum wait, slow-path
+  // penalty) via the causal span analyzer.
+  harness::Scenario traced = s;
+  traced.measure = seconds(5);
+  bench::print_phase_breakdown(harness::Protocol::kDomino, traced, "Domino");
   bench::emit_json_report(json_path, name,
                           {{"Domino", &dom}, {"Mencius", &men}, {"EPaxos", &epx},
                            {"Multi-Paxos", &mp}});

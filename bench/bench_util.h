@@ -2,8 +2,13 @@
 // deployments (Section 7.2) and result formatting.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <map>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "harness/report.h"
@@ -69,6 +74,48 @@ inline harness::RunResult run_repeated(harness::Protocol protocol, harness::Scen
     }
   }
   return total;
+}
+
+/// Run one traced run (command_spans on) and print where committed commands
+/// spent their time: per critical-path phase, total/mean attribution and its
+/// share of the summed end-to-end latency (shares tile to 100% because the
+/// analyzer partitions [submit, commit] exactly). Piggybacked trace context
+/// changes wire bytes, so the breakdown uses its own run instead of
+/// instrumenting the measured ones.
+inline void print_phase_breakdown(harness::Protocol protocol, harness::Scenario s,
+                                  const char* label) {
+  s.command_spans = true;
+  const harness::RunResult r = harness::run_protocol(protocol, s);
+  struct Cell {
+    std::int64_t ns = 0;
+    std::uint64_t hits = 0;
+  };
+  std::map<std::string_view, Cell> phases;
+  std::int64_t total_ns = 0;
+  for (const obs::CommandPath& p : r.critical_paths) {
+    for (const obs::PathSegment& seg : p.segments) {
+      Cell& cell = phases[seg.phase];
+      cell.ns += seg.duration().nanos();
+      cell.hits += 1;
+      total_ns += seg.duration().nanos();
+    }
+  }
+  std::printf("\n%s commit-path phase attribution (%zu commands, traced run):\n", label,
+              r.critical_paths.size());
+  if (total_ns == 0) {
+    std::printf("  (no committed commands)\n");
+    return;
+  }
+  std::vector<std::pair<std::string_view, Cell>> rows(phases.begin(), phases.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second.ns > b.second.ns; });
+  for (const auto& [phase, cell] : rows) {
+    std::printf("  %-24.*s total %10.1f ms  mean %8.3f ms  %5.1f%%\n",
+                static_cast<int>(phase.size()), phase.data(),
+                static_cast<double>(cell.ns) / 1e6,
+                static_cast<double>(cell.ns) / static_cast<double>(cell.hits) / 1e6,
+                100.0 * static_cast<double>(cell.ns) / static_cast<double>(total_ns));
+  }
 }
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {

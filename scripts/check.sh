@@ -5,20 +5,27 @@
 #   scripts/check.sh              # plain RelWithDebInfo build + ctest
 #   scripts/check.sh --sanitize   # same, with ASan + UBSan (DOMINO_SANITIZE)
 #   scripts/check.sh --chaos      # chaos suite only (ctest -L chaos), sanitized
+#   scripts/check.sh --trace      # tracing suite only (ctest -L trace), sanitized
 #
-# The build directory is build/ (or build-asan/ with --sanitize/--chaos)
-# under the repository root.
+# The build directory is build/ (or build-asan/ with
+# --sanitize/--chaos/--trace) under the repository root.
 #
 # --chaos is the robustness gate: the seeded fault-injection sweep
 # (tests/integration/test_chaos.cpp) exercises crash/partition/degradation
 # schedules across every protocol, and running it under ASan+UBSan catches
 # the memory errors that fault-handling paths are most prone to.
+#
+# --trace is the observability gate: the causal-tracing suite (wire trace
+# context, span propagation, critical-path analysis, Chrome-trace export)
+# under the same sanitizers, followed by a smoke run of
+# scripts/trace_summary.py over the per-command CSV the suite writes.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="$root/build"
 cmake_args=()
 ctest_args=()
+trace_smoke=0
 
 case "${1:-}" in
   --sanitize)
@@ -32,8 +39,27 @@ case "${1:-}" in
     ctest_args+=(-L chaos)
     shift
     ;;
+  --trace)
+    build_dir="$root/build-asan"
+    cmake_args+=(-DDOMINO_SANITIZE=ON)
+    ctest_args+=(-L trace)
+    trace_smoke=1
+    shift
+    ;;
 esac
 
 cmake -B "$build_dir" -S "$root" "${cmake_args[@]}"
 cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "${ctest_args[@]}" "$@"
+
+if [[ "$trace_smoke" == 1 ]]; then
+  # CriticalPathRun.WritesSampleCsvForTooling leaves a per-command CSV in
+  # the test working directory; summarising it proves the CSV and the
+  # stdlib-only tooling agree on the format.
+  sample="$build_dir/tests/critical_path_sample.csv"
+  if command -v python3 >/dev/null && [[ -f "$sample" ]]; then
+    python3 "$root/scripts/trace_summary.py" "$sample"
+  else
+    echo "trace_summary smoke skipped (python3 or $sample missing)" >&2
+  fi
+fi

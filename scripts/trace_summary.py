@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Summarise per-command critical-path CSVs into a phase-attribution table.
+
+Input is the CSV produced by obs::paths_to_csv (RunReport::command_csv or
+the trace-suite sample at build/tests/critical_path_sample.csv): one row
+per critical-path segment, with columns
+
+  protocol,request,trace,submit_ns,commit_ns,total_ns,
+  phase_index,phase,node,peer,begin_ns,end_ns,dur_ns
+
+For each protocol in the file the script prints, per phase: how many
+commands hit that phase, total/mean time spent in it, and its share of
+the protocol's summed end-to-end latency.  Shares add up to 100% because
+the analyzer tiles [submit, commit] exactly.
+
+Stdlib only; no third-party dependencies.
+
+Usage:
+  python3 scripts/trace_summary.py <csv> [<csv> ...]
+"""
+
+import csv
+import sys
+from collections import defaultdict
+
+
+def load(paths):
+    """Return {protocol: {phase: [total_ns, hits, commands]}} plus totals."""
+    phases = defaultdict(lambda: defaultdict(lambda: [0, 0, set()]))
+    commands = defaultdict(set)
+    for path in paths:
+        with open(path, newline="") as fh:
+            for row in csv.DictReader(fh):
+                proto = row["protocol"]
+                key = (row["request"], row["trace"])
+                commands[proto].add(key)
+                cell = phases[proto][row["phase"]]
+                cell[0] += int(row["dur_ns"])
+                cell[1] += 1
+                cell[2].add(key)
+    return phases, commands
+
+
+def print_table(proto, phase_map, n_commands):
+    total_ns = sum(cell[0] for cell in phase_map.values())
+    print(f"\n{proto}: {n_commands} commands, "
+          f"{total_ns / n_commands / 1e6:.3f} ms mean end-to-end latency")
+    header = f"  {'phase':<24} {'cmds':>6} {'total ms':>10} {'mean ms':>9} {'share':>7}"
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    ranked = sorted(phase_map.items(), key=lambda kv: kv[1][0], reverse=True)
+    for phase, (ns, hits, cmds) in ranked:
+        print(f"  {phase:<24} {len(cmds):>6} {ns / 1e6:>10.3f} "
+              f"{ns / hits / 1e6:>9.3f} {100.0 * ns / total_ns:>6.1f}%")
+    print(f"  {'(sum)':<24} {'':>6} {total_ns / 1e6:>10.3f} {'':>9} {100.0:>6.1f}%")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    phases, commands = load(argv[1:])
+    if not phases:
+        print("no critical-path rows found", file=sys.stderr)
+        return 1
+    for proto in sorted(phases):
+        print_table(proto, phases[proto], len(commands[proto]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -125,7 +125,9 @@ NodeId Client::fallback_dm_leader() const {
 void Client::on_request_timeout(const sm::Command& command, std::size_t /*attempt*/) {
   // Forget the DFP attempt (any quorum it was gathering is moot; the DFP
   // timestamp of the retry will differ, so late notices are ignored).
-  if (dfp_pending_.erase(command.id) > 0) {
+  if (const auto it = dfp_pending_.find(command.id); it != dfp_pending_.end()) {
+    close_wait_span(it->second.span);
+    dfp_pending_.erase(it);
     ++dfp_failovers_;
     obs_failovers_.inc();
   }
@@ -158,7 +160,7 @@ void Client::propose_dfp(const sm::Command& command) {
     while (ts <= last_dfp_ts_) ts += space;
   }
   last_dfp_ts_ = ts;
-  dfp_pending_[command.id] = DfpPendingState{ts, 0};
+  dfp_pending_[command.id] = DfpPendingState{ts, 0, open_wait_span("dfp_attempt")};
   DfpPropose msg{ts, command};
   for (NodeId r : replicas_) send(r, msg);
 }
@@ -183,6 +185,7 @@ void Client::on_packet(const net::Packet& packet) {
       if (it == dfp_pending_.end() || it->second.ts != notice.ts) break;
       if (!notice.accepted) break;  // rejected: wait for the coordinator's slow path
       if (++it->second.accepts >= measure::supermajority(replicas_.size())) {
+        close_wait_span(it->second.span);
         dfp_pending_.erase(it);
         ++dfp_fast_learns_;
         obs_fast_learns_.inc();
@@ -193,7 +196,11 @@ void Client::on_packet(const net::Packet& packet) {
     }
     case wire::MessageType::kDfpClientReply: {
       const auto reply = wire::decode_message<DfpClientReply>(packet.payload);
-      if (dfp_pending_.erase(reply.request) > 0) record_dfp_outcome(false);
+      if (const auto it = dfp_pending_.find(reply.request); it != dfp_pending_.end()) {
+        close_wait_span(it->second.span);
+        dfp_pending_.erase(it);
+        record_dfp_outcome(false);
+      }
       ++dfp_slow_replies_;
       obs_slow_replies_.inc();
       handle_committed(reply.request);

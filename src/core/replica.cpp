@@ -301,6 +301,9 @@ void Replica::coordinator_check(std::int64_t ts) {
 void Replica::start_dfp_recovery(std::int64_t ts) {
   DfpPosition& pos = dfp_positions_[ts];
   pos.recovering = true;
+  if (const obs::SpanId s = open_wait_span("dfp_recovery"); s != 0) {
+    dfp_recovery_spans_[ts] = s;
+  }
   // Ballot-1 choice: the most-accepted proposal if it is still choosable,
   // else no-op. The choosability threshold is q - f accepts: below it, a
   // supermajority of replicas must have no-op'd the position, so learners
@@ -353,6 +356,11 @@ void Replica::resolve_dfp(std::int64_t ts, bool is_noop, const sm::Command& comm
                           bool was_fast) {
   DfpPosition& pos = dfp_positions_[ts];
   pos.resolved = true;
+  const auto rspan_it = dfp_recovery_spans_.find(ts);
+  if (rspan_it != dfp_recovery_spans_.end()) {
+    close_wait_span(rspan_it->second);
+    dfp_recovery_spans_.erase(rspan_it);
+  }
 
   const log::LogPosition lp{ts, dfp_lane()};
   if (!is_noop) {
@@ -450,6 +458,9 @@ void Replica::dm_lead(const sm::Command& command, bool reply_via_dfp) {
   const log::LogPosition pos{ts, static_cast<std::uint32_t>(rank_)};
   log_.accept(pos, command);
   dm_pending_.emplace(ts, DmPending{1, command.id, reply_via_dfp});
+  if (const obs::SpanId s = open_wait_span("dm_quorum_wait"); s != 0) {
+    dm_quorum_spans_[ts] = s;
+  }
 
   DmAccept msg{ts, static_cast<std::uint32_t>(rank_), command};
   for (NodeId r : replicas_) {
@@ -480,6 +491,11 @@ void Replica::maybe_commit_dm(std::int64_t ts) {
   if (it->second.acks < measure::majority(replicas_.size())) return;
   const DmPending pending = it->second;
   dm_pending_.erase(it);
+  const auto span_it = dm_quorum_spans_.find(ts);
+  if (span_it != dm_quorum_spans_.end()) {
+    close_wait_span(span_it->second);
+    dm_quorum_spans_.erase(span_it);
+  }
 
   log_.commit(log::LogPosition{ts, static_cast<std::uint32_t>(rank_)});
   ++dm_commits_;

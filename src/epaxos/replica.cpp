@@ -85,6 +85,9 @@ void Replica::handle_client_request(const net::Packet& packet) {
   book.deps = deps;
   book.client = req.command.id.client;
   leading_[inst] = std::move(book);
+  if (const obs::SpanId s = open_wait_span("epaxos_quorum_wait"); s != 0) {
+    quorum_spans_[inst] = s;
+  }
 
   PreAccept msg{inst, req.command, seq, deps};
   for (NodeId r : replicas_) {
@@ -210,6 +213,11 @@ void Replica::commit_instance(const InstanceId& inst_id, const sm::Command& cmd,
   }
   ++committed_;
   obs_committed_.inc();
+  const auto qspan_it = quorum_spans_.find(inst_id);
+  if (qspan_it != quorum_spans_.end()) {
+    close_wait_span(qspan_it->second);
+    quorum_spans_.erase(qspan_it);
+  }
   if (broadcast) {
     Commit msg{inst_id, cmd, seq, deps};
     for (NodeId r : replicas_) {
@@ -222,7 +230,14 @@ void Replica::commit_instance(const InstanceId& inst_id, const sm::Command& cmd,
   if (w != waiters_.end()) {
     const std::vector<InstanceId> blocked = std::move(w->second);
     waiters_.erase(w);
-    for (const auto& b : blocked) try_execute(b);
+    for (const auto& b : blocked) {
+      const auto dspan_it = dep_spans_.find(b);
+      if (dspan_it != dep_spans_.end()) {
+        close_wait_span(dspan_it->second);
+        dep_spans_.erase(dspan_it);
+      }
+      try_execute(b);
+    }
   }
 }
 
@@ -268,6 +283,11 @@ void Replica::execute_scc_from(const InstanceId& root) {
            dep_it->second.status != Status::kExecuted)) {
         // Uncommitted dependency: defer the whole attempt.
         waiters_[dep].push_back(root);
+        if (span_store() != nullptr && dep_spans_.find(root) == dep_spans_.end()) {
+          if (const obs::SpanId s = open_wait_span("epaxos_dep_wait"); s != 0) {
+            dep_spans_[root] = s;
+          }
+        }
         return;
       }
       if (dep_it->second.status == Status::kExecuted) continue;

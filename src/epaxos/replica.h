@@ -101,6 +101,8 @@ class Replica : public rpc::Node {
   std::unordered_map<std::string, std::pair<InstanceId, std::uint64_t>> key_table_;
   // Commit wakeups: uncommitted dep -> instances waiting on it.
   std::unordered_map<InstanceId, std::vector<InstanceId>> waiters_;
+  std::unordered_map<InstanceId, obs::SpanId> quorum_spans_;  // leader quorum gathers
+  std::unordered_map<InstanceId, obs::SpanId> dep_spans_;     // execution blocked on deps
 
   std::uint64_t next_instance_ = 0;
   std::uint64_t committed_ = 0;

@@ -158,6 +158,9 @@ void Replica::maybe_resolve(std::uint64_t index) {
 void Replica::start_recovery(std::uint64_t index) {
   Tally& tally = tallies_[index];
   tally.recovering = true;
+  if (const obs::SpanId s = open_wait_span("fp_recovery"); s != 0) {
+    recovery_spans_[index] = s;
+  }
 
   // Pick the most-accepted request that is not already committed elsewhere;
   // no-op if none. (The coordinator has ballot-0 reports from everyone who
@@ -218,6 +221,11 @@ void Replica::finish_commit(std::uint64_t index, bool is_noop, const sm::Command
                             bool was_fast) {
   Tally& tally = tallies_[index];
   tally.resolved = true;
+  const auto rspan_it = recovery_spans_.find(index);
+  if (rspan_it != recovery_spans_.end()) {
+    close_wait_span(rspan_it->second);
+    recovery_spans_.erase(rspan_it);
+  }
   if (was_fast) {
     ++fast_commits_;
     obs_fast_.inc();

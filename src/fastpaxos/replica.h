@@ -87,6 +87,7 @@ class Replica : public rpc::Node {
     bool timer_armed = false;
   };
   std::map<std::uint64_t, Tally> tallies_;
+  std::unordered_map<std::uint64_t, obs::SpanId> recovery_spans_;  // index -> wait span
   std::unordered_map<RequestId, sm::Command> committed_requests_;
   // Requests picked by an in-flight recovery; excluded from concurrent
   // recovery choices so one request cannot be chosen at two indices.

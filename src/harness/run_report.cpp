@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/chrome_trace.h"
 #include "obs/export.h"
 
 namespace domino::harness {
@@ -86,9 +87,23 @@ std::string RunReport::to_json(bool include_trace) const {
     append_u(out, trace->total_recorded());
     out += ",\n\"trace_events_retained\":";
     append_u(out, trace->size());
+    out += ",\n\"trace_events_dropped\":";
+    append_u(out, trace_events_dropped);
     if (include_trace) {
       out += ",\n\"trace\":" + obs::trace_to_json(*trace);
     }
+  }
+  if (spans != nullptr) {
+    out += ",\n\"spans_recorded\":";
+    append_u(out, spans->spans().size());
+    out += ",\n\"span_edges_recorded\":";
+    append_u(out, spans->edges().size());
+    out += ",\n\"spans_dropped\":";
+    append_u(out, spans->dropped_spans());
+    out += ",\n\"span_edges_dropped\":";
+    append_u(out, spans->dropped_edges());
+    out += ",\n\"critical_paths\":";
+    append_u(out, critical_paths.size());
   }
   out += "\n}\n";
   return out;
@@ -96,6 +111,14 @@ std::string RunReport::to_json(bool include_trace) const {
 
 void RunReport::write(const std::string& path, bool include_trace) const {
   obs::write_file(path, to_json(include_trace));
+}
+
+std::string RunReport::chrome_trace() const {
+  return obs::chrome_trace_json(spans.get(), trace.get());
+}
+
+std::string RunReport::command_csv() const {
+  return obs::paths_to_csv(critical_paths, protocol);
 }
 
 RunReport make_report(Protocol protocol, const Scenario& scenario, const RunResult& result) {
@@ -117,6 +140,9 @@ RunReport make_report(Protocol protocol, const Scenario& scenario, const RunResu
   r.latency = result.latency;
   r.metrics = result.metrics;
   r.trace = result.trace;
+  r.spans = result.spans;
+  r.critical_paths = result.critical_paths;
+  r.trace_events_dropped = result.trace_events_dropped;
   return r;
 }
 

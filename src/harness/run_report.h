@@ -33,6 +33,9 @@ struct RunReport {
   // Borrowed from the RunResult; may be null (observability disabled).
   std::shared_ptr<obs::MetricsRegistry> metrics;
   std::shared_ptr<obs::TraceRecorder> trace;
+  std::shared_ptr<obs::SpanStore> spans;  // null unless Scenario::command_spans
+  std::vector<obs::CommandPath> critical_paths;
+  std::uint64_t trace_events_dropped = 0;
 
   /// Render the whole report as a JSON document. The trace is included as
   /// text lines when `include_trace` is set (it can be large).
@@ -40,6 +43,14 @@ struct RunReport {
 
   /// Write to_json(include_trace) to `path`.
   void write(const std::string& path, bool include_trace = false) const;
+
+  /// Chrome trace_event JSON for the run (spans + message flows + fault
+  /// instants). Valid (if empty) even when spans were disabled.
+  [[nodiscard]] std::string chrome_trace() const;
+
+  /// Per-command critical-path CSV (obs::paths_to_csv with this report's
+  /// protocol name).
+  [[nodiscard]] std::string command_csv() const;
 };
 
 /// Assemble a report from a finished run.

@@ -73,7 +73,10 @@ struct Env {
     if (s.observability) {
       metrics = std::make_shared<obs::MetricsRegistry>();
       trace = std::make_shared<obs::TraceRecorder>(s.trace_capacity);
-      const obs::Sink sink{metrics.get(), trace.get()};
+      if (s.command_spans) {
+        spans = std::make_shared<obs::SpanStore>(s.span_capacity, s.span_capacity);
+      }
+      const obs::Sink sink{metrics.get(), trace.get(), spans.get()};
       simulator.bind_obs(sink);
       network.bind_obs(sink);  // nodes pick the sink up at construction
     }
@@ -149,6 +152,23 @@ struct Env {
     result.latency = collector.summarize();
     result.metrics = metrics;
     result.trace = trace;
+    result.spans = spans;
+    if (trace != nullptr) {
+      // Surface ring-buffer overwrite: dropped events must be visible, not
+      // silent (satellite of the span work).
+      result.trace_events_dropped = trace->overwritten();
+      if (metrics != nullptr) {
+        metrics->counter("obs.trace.dropped_events").inc(trace->overwritten());
+      }
+    }
+    if (spans != nullptr) {
+      if (metrics != nullptr) {
+        metrics->counter("obs.span.dropped_spans").inc(spans->dropped_spans());
+        metrics->counter("obs.span.dropped_edges").inc(spans->dropped_edges());
+      }
+      result.critical_paths = obs::critical_paths(*spans);
+      if (metrics != nullptr) obs::accumulate_phases(result.critical_paths, *metrics);
+    }
   }
 
   /// Record each replica's state-machine fingerprint (chaos convergence
@@ -169,6 +189,7 @@ struct Env {
   // valid for the users' whole lifetime (members destroy in reverse order).
   std::shared_ptr<obs::MetricsRegistry> metrics;
   std::shared_ptr<obs::TraceRecorder> trace;
+  std::shared_ptr<obs::SpanStore> spans;
   sim::Simulator simulator;
   net::Network network;
   Rng clock_rng;

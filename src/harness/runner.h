@@ -18,6 +18,7 @@
 #include "net/fault.h"
 #include "net/latency_model.h"
 #include "net/topology.h"
+#include "obs/causal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "statemachine/workload.h"
@@ -68,6 +69,15 @@ struct Scenario {
   bool observability = true;
   /// Trace ring capacity (events); older events are overwritten.
   std::size_t trace_capacity = obs::TraceRecorder::kDefaultCapacity;
+  /// Causal per-command spans (obs/span.h): every command gets a root span
+  /// whose context is piggybacked on the wire, and the run computes
+  /// critical-path latency attribution (RunResult::critical_paths). Opt-in:
+  /// the piggybacked context adds bytes to every traced message, which
+  /// would perturb bytes_sent stats and bandwidth-modelled runs. Requires
+  /// `observability`.
+  bool command_spans = false;
+  /// Span/edge store capacity; overflow drops records and counts them.
+  std::size_t span_capacity = obs::SpanStore::kDefaultCapacity;
 
   // Robustness knobs (chaos runs).
   /// Timed fault events (crashes, partitions, degradations, route changes)
@@ -131,6 +141,14 @@ struct RunResult {
   /// Scenario::observability is false.
   std::shared_ptr<obs::MetricsRegistry> metrics;
   std::shared_ptr<obs::TraceRecorder> trace;
+
+  /// Per-command span DAG and critical-path attribution; spans is null (and
+  /// critical_paths empty) unless Scenario::command_spans was set.
+  std::shared_ptr<obs::SpanStore> spans;
+  std::vector<obs::CommandPath> critical_paths;
+  /// Protocol events lost to trace-ring overwrite (satellite of the span
+  /// work: overflow is counted, never silent).
+  std::uint64_t trace_events_dropped = 0;
 };
 
 enum class Protocol { kMultiPaxos, kMencius, kEPaxos, kFastPaxos, kDomino };

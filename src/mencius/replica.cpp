@@ -72,6 +72,9 @@ void Replica::handle_client_request(const net::Packet& packet) {
   log_.accept(p, req.command);
   pending_.emplace(p, Pending{{}, {}, req.command, req.command.id.client, false, true_now()});
   owned_request_.emplace(p, req.command.id);
+  if (const obs::SpanId s = open_wait_span("mencius_quorum_wait"); s != 0) {
+    quorum_spans_[p] = s;
+  }
 
   for (NodeId r : replicas_) {
     if (r != id()) send(r, Accept{p, req.command, safe_skip_frontier(r)});
@@ -105,6 +108,11 @@ void Replica::handle_accept_reply(NodeId from, const wire::Payload& payload) {
     if (acked.size() + 1 >= measure::majority(replicas_.size())) {
       it->second.committed = true;
       it->second.last_sent = true_now();
+      const auto span_it = quorum_spans_.find(msg.index);
+      if (span_it != quorum_spans_.end()) {
+        close_wait_span(span_it->second);
+        quorum_spans_.erase(span_it);
+      }
       log_.commit(msg.index);
       obs_commits_.inc();
       // The Pending entry stays until every peer CommitAcks: the owner

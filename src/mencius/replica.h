@@ -106,6 +106,7 @@ class Replica : public rpc::Node {
   };
   std::map<std::uint64_t, Pending> pending_;  // ordered: commit in index order
   std::unordered_map<std::uint64_t, RequestId> owned_request_;  // index -> request id
+  std::unordered_map<std::uint64_t, obs::SpanId> quorum_spans_;  // index -> open wait span
   std::uint64_t owned_proposals_ = 0;
 
   obs::CounterHandle obs_proposals_;

@@ -1,0 +1,73 @@
+// Deterministic critical-path analysis over per-command span DAGs.
+//
+// For every committed command recorded in a SpanStore, the analyzer walks
+// the span DAG backwards from the commit notification (CommitRecord) to the
+// root span's begin, alternating between local span segments and message
+// transit segments (FIFO send/recv edges). The walk emits a contiguous
+// tiling of the interval [submit, commit]: segment durations sum EXACTLY
+// (virtual time, integer nanoseconds) to the command's end-to-end latency.
+// Causal gaps — commits resolved by untraced timers or heartbeats — are
+// covered by explicit fallback segments ("untraced_wait", "slow_path_wait")
+// rather than dropped, preserving the exact-sum invariant.
+//
+// Phase names attribute each transit edge to a protocol-meaningful step:
+// a PaxosAcceptReply edge is the leader's quorum wait (its `node` names the
+// straggler replica whose reply completed the quorum), a DfpPropose edge is
+// client→replica transit on Domino's fast path, a DmPropose edge is the
+// coordinator forward, recovery/revocation messages become slow-path
+// penalty, and so on.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace domino::obs {
+
+/// One contiguous slice of a command's end-to-end latency. For transit
+/// segments `node` is the sender and `peer` the receiver; for local
+/// segments both name the node the time was spent on.
+struct PathSegment {
+  const char* phase = "";
+  NodeId node;
+  NodeId peer;
+  TimePoint begin;
+  TimePoint end;
+
+  [[nodiscard]] Duration duration() const { return end - begin; }
+};
+
+/// The critical path of one committed command: chronological segments
+/// tiling [submitted_at, committed_at] exactly.
+struct CommandPath {
+  TraceId trace = 0;
+  RequestId request;
+  TimePoint submitted_at;
+  TimePoint committed_at;
+  std::vector<PathSegment> segments;
+
+  [[nodiscard]] Duration total() const { return committed_at - submitted_at; }
+};
+
+/// Phase name for a transit edge carrying wire tag `msg_type`.
+[[nodiscard]] const char* transit_phase(std::uint16_t msg_type);
+
+/// Compute the critical path of every committed command in `store`, in
+/// commit order. Deterministic: depends only on store contents.
+[[nodiscard]] std::vector<CommandPath> critical_paths(const SpanStore& store);
+
+/// Aggregate per-phase durations into `critpath.<phase>_ns` histograms
+/// (one sample per command per phase, summed within a command) plus a
+/// `critpath.commands` counter.
+void accumulate_phases(const std::vector<CommandPath>& paths, MetricsRegistry& registry);
+
+/// Long-format CSV, one row per (command, segment):
+/// protocol,request,trace,submit_ns,commit_ns,total_ns,
+/// phase_index,phase,node,peer,begin_ns,end_ns,dur_ns
+[[nodiscard]] std::string paths_to_csv(const std::vector<CommandPath>& paths,
+                                       std::string_view protocol);
+
+}  // namespace domino::obs

@@ -8,6 +8,7 @@
 #pragma once
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace domino::obs {
@@ -15,9 +16,15 @@ namespace domino::obs {
 struct Sink {
   MetricsRegistry* metrics = nullptr;
   TraceRecorder* trace = nullptr;
+  /// Causal per-command span store (obs/span.h); null disables span
+  /// collection and trace-context piggybacking on the wire.
+  SpanStore* spans = nullptr;
 
-  [[nodiscard]] bool active() const { return metrics != nullptr || trace != nullptr; }
+  [[nodiscard]] bool active() const {
+    return metrics != nullptr || trace != nullptr || spans != nullptr;
+  }
   [[nodiscard]] bool tracing() const { return trace != nullptr; }
+  [[nodiscard]] bool spans_enabled() const { return spans != nullptr; }
 
   /// Handle factories: null handles when the registry is disabled.
   [[nodiscard]] CounterHandle counter(std::string_view name) const {

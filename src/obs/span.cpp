@@ -1,0 +1,85 @@
+#include "obs/span.h"
+
+namespace domino::obs {
+
+SpanStore::SpanStore(std::size_t max_spans, std::size_t max_edges)
+    : max_spans_(max_spans), max_edges_(max_edges) {}
+
+SpanId SpanStore::open(TraceId trace, SpanId parent, NodeId node, const char* name,
+                       TimePoint at, std::uint16_t msg_type, std::int32_t in_edge) {
+  if (spans_.size() >= max_spans_) {
+    ++dropped_spans_;
+    return 0;
+  }
+  Span s;
+  s.id = spans_.size() + 1;
+  s.trace = trace;
+  s.parent = parent;
+  s.node = node;
+  s.name = name;
+  s.begin = at;
+  s.end = at;
+  s.msg_type = msg_type;
+  s.in_edge = in_edge;
+  spans_.push_back(s);
+  return s.id;
+}
+
+SpanId SpanStore::open_root(TraceId trace, NodeId node, const char* name, TimePoint at) {
+  const SpanId id = open(trace, /*parent=*/0, node, name, at);
+  if (id != 0) {
+    spans_[id - 1].root = true;
+    roots_.emplace(trace, id);  // first root wins (retries reuse it)
+  }
+  return id;
+}
+
+void SpanStore::close(SpanId id, TimePoint at) {
+  if (id >= 1 && id <= spans_.size()) spans_[id - 1].end = at;
+}
+
+std::int32_t SpanStore::add_edge(TraceId trace, SpanId from_span, NodeId src, NodeId dst,
+                                 TimePoint sent_at, TimePoint recv_at,
+                                 std::uint16_t msg_type) {
+  if (edges_.size() >= max_edges_) {
+    ++dropped_edges_;
+    return -1;
+  }
+  MsgEdge e;
+  e.trace = trace;
+  e.from_span = from_span;
+  e.src = src;
+  e.dst = dst;
+  e.sent_at = sent_at;
+  e.recv_at = recv_at;
+  e.msg_type = msg_type;
+  edges_.push_back(e);
+  return static_cast<std::int32_t>(edges_.size() - 1);
+}
+
+void SpanStore::bind_edge_target(std::int32_t edge, SpanId to_span) {
+  if (edge >= 0 && static_cast<std::size_t>(edge) < edges_.size()) {
+    edges_[static_cast<std::size_t>(edge)].to_span = to_span;
+  }
+}
+
+void SpanStore::note_commit(TraceId trace, const RequestId& request, TimePoint at,
+                            SpanId via_span) {
+  commits_.push_back(CommitRecord{trace, request, at, via_span});
+}
+
+SpanId SpanStore::root_of(TraceId trace) const {
+  const auto it = roots_.find(trace);
+  return it == roots_.end() ? 0 : it->second;
+}
+
+void SpanStore::clear() {
+  spans_.clear();
+  edges_.clear();
+  commits_.clear();
+  roots_.clear();
+  dropped_spans_ = 0;
+  dropped_edges_ = 0;
+}
+
+}  // namespace domino::obs

@@ -1,0 +1,135 @@
+// Causal per-command span store.
+//
+// Every client command owns a trace: a root span opened at submit time and
+// closed at commit (or abandon). The trace context (trace id + active span
+// id) is piggybacked on every wire message the command causes (see
+// wire/message.h), so each node that handles such a message opens a child
+// span linked to the sender's span through a message edge. The result is a
+// per-command DAG of spans and send/recv edges over virtual time, which the
+// critical-path analyzer (obs/causal.h) walks backwards from the commit to
+// attribute every nanosecond of end-to-end latency to a named phase.
+//
+// Determinism: span and edge ids are allocated in simulator execution
+// order, all timestamps are virtual time, and storage is append-only, so
+// two runs with the same seed produce byte-identical exports. Capacity is
+// bounded; overflow drops new records and counts them (never silently).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace domino::obs {
+
+/// Trace identifier: derived from the command's RequestId, never zero.
+using TraceId = std::uint64_t;
+/// Span identifier: 1-based index into the store, 0 = invalid.
+using SpanId = std::uint64_t;
+
+[[nodiscard]] constexpr TraceId trace_id_of(const RequestId& id) {
+  return (static_cast<TraceId>(id.client.value() + 1) << 32) ^ id.seq;
+}
+
+/// The context piggybacked on wire messages: which trace caused this
+/// message, and which span sent it.
+struct TraceContext {
+  TraceId trace_id = 0;
+  SpanId span_id = 0;
+
+  [[nodiscard]] constexpr bool valid() const { return trace_id != 0 && span_id != 0; }
+};
+
+struct Span {
+  SpanId id = 0;
+  TraceId trace = 0;
+  SpanId parent = 0;          // causal parent span (0 for roots)
+  NodeId node;                // node the span ran on
+  const char* name = "";      // static string (message/phase name)
+  TimePoint begin;
+  TimePoint end;              // == begin until closed
+  std::uint16_t msg_type = 0; // inbound wire tag for handler spans, else 0
+  std::int32_t in_edge = -1;  // edge that caused this span, -1 = none
+  bool root = false;          // root span of its trace
+};
+
+/// One delivered message inside a trace: the FIFO-channel send/recv edge
+/// between the sending span and the handler span it opened.
+struct MsgEdge {
+  TraceId trace = 0;
+  SpanId from_span = 0;
+  SpanId to_span = 0;  // handler span opened at delivery
+  NodeId src;
+  NodeId dst;
+  TimePoint sent_at;
+  TimePoint recv_at;
+  std::uint16_t msg_type = 0;
+};
+
+/// The terminal event of a committed command: when the owning client
+/// learned the commit, and inside which span it learned it.
+struct CommitRecord {
+  TraceId trace = 0;
+  RequestId request;
+  TimePoint committed_at;
+  SpanId via_span = 0;  // 0 when the commit arrived on an untraced path
+};
+
+class SpanStore {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 20;
+
+  explicit SpanStore(std::size_t max_spans = kDefaultCapacity,
+                     std::size_t max_edges = kDefaultCapacity);
+
+  /// Open a span. Returns 0 (and counts a drop) when the store is full.
+  /// `name` must point to storage outliving the store (static strings).
+  SpanId open(TraceId trace, SpanId parent, NodeId node, const char* name, TimePoint at,
+              std::uint16_t msg_type = 0, std::int32_t in_edge = -1);
+
+  /// Open the root span of `trace` and remember it for root_of().
+  SpanId open_root(TraceId trace, NodeId node, const char* name, TimePoint at);
+
+  void close(SpanId id, TimePoint at);
+
+  /// Record a delivered message edge. Returns the edge index, or -1 (and a
+  /// counted drop) when full.
+  std::int32_t add_edge(TraceId trace, SpanId from_span, NodeId src, NodeId dst,
+                        TimePoint sent_at, TimePoint recv_at, std::uint16_t msg_type);
+
+  /// Link the handler span opened at delivery back to its edge.
+  void bind_edge_target(std::int32_t edge, SpanId to_span);
+
+  /// Record that `request`'s client learned the commit at `at`, inside
+  /// `via_span` (0 when the notification arrived on an untraced path).
+  void note_commit(TraceId trace, const RequestId& request, TimePoint at, SpanId via_span);
+
+  [[nodiscard]] const Span* span(SpanId id) const {
+    return (id >= 1 && id <= spans_.size()) ? &spans_[id - 1] : nullptr;
+  }
+  [[nodiscard]] SpanId root_of(TraceId trace) const;
+
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  [[nodiscard]] const std::vector<MsgEdge>& edges() const { return edges_; }
+  [[nodiscard]] const std::vector<CommitRecord>& commits() const { return commits_; }
+
+  [[nodiscard]] std::uint64_t dropped_spans() const { return dropped_spans_; }
+  [[nodiscard]] std::uint64_t dropped_edges() const { return dropped_edges_; }
+  [[nodiscard]] bool empty() const { return spans_.empty(); }
+
+  void clear();
+
+ private:
+  std::size_t max_spans_;
+  std::size_t max_edges_;
+  std::vector<Span> spans_;
+  std::vector<MsgEdge> edges_;
+  std::vector<CommitRecord> commits_;
+  std::unordered_map<TraceId, SpanId> roots_;
+  std::uint64_t dropped_spans_ = 0;
+  std::uint64_t dropped_edges_ = 0;
+};
+
+}  // namespace domino::obs

@@ -38,6 +38,9 @@ void Replica::handle_client_request(const net::Packet& packet) {
   log_.accept(index, req.command);
   accept_counts_[index] = 1;  // self-accept
   origin_[index] = req.command.id.client;
+  if (const obs::SpanId s = open_wait_span("paxos_quorum_wait"); s != 0) {
+    quorum_spans_[index] = s;
+  }
   Accept msg{index, req.command};
   for (NodeId r : replicas_) {
     if (r != id()) send(r, msg);
@@ -59,6 +62,11 @@ void Replica::handle_accept_reply(const wire::Payload& payload) {
   if (++it->second < measure::majority(replicas_.size())) return;
 
   accept_counts_.erase(it);
+  const auto span_it = quorum_spans_.find(msg.index);
+  if (span_it != quorum_spans_.end()) {
+    close_wait_span(span_it->second);
+    quorum_spans_.erase(span_it);
+  }
   log_.commit(msg.index);
   ++committed_;
   obs_commits_.inc();

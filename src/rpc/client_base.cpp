@@ -45,14 +45,32 @@ void ClientBase::submit(sm::Command command) {
                                       .request = command.id});
   }
   if (send_hook_) send_hook_(command.id, true_now());
+  // Open the command's root span and propose inside its context, so every
+  // message the proposal causes carries the trace downstream.
+  const obs::TraceContext prev_span = active_span();
+  if (span_store() != nullptr) {
+    const obs::TraceId trace = obs::trace_id_of(command.id);
+    const obs::SpanId root = span_store()->open_root(trace, id(), "command", true_now());
+    if (root != 0) {
+      root_spans_.emplace(command.id, root);
+      set_active_span(obs::TraceContext{trace, root});
+    }
+  }
   if (request_timeout_ > Duration::zero()) {
     const RequestId rid = command.id;
     pending_.emplace(rid, PendingRequest{command, 0});
     propose(command);
+    set_active_span(prev_span);
     arm_timeout(rid, 0);
     return;
   }
   propose(command);
+  set_active_span(prev_span);
+}
+
+obs::SpanId ClientBase::root_span_of(const RequestId& id) const {
+  const auto it = root_spans_.find(id);
+  return it == root_spans_.end() ? 0 : it->second;
 }
 
 void ClientBase::arm_timeout(const RequestId& id, std::size_t attempt) {
@@ -69,6 +87,13 @@ void ClientBase::arm_timeout(const RequestId& id, std::size_t attempt) {
       abandoned_seqs_.insert(id.seq);
       ++abandoned_;
       obs_abandoned_.inc();
+      if (span_store() != nullptr) {
+        const auto root_it = root_spans_.find(id);
+        if (root_it != root_spans_.end()) {
+          span_store()->close(root_it->second, true_now());
+          root_spans_.erase(root_it);
+        }
+      }
       if (obs_sink().tracing()) {
         obs_sink().record(obs::TraceEvent{.at = true_now(),
                                           .kind = obs::EventKind::kClientAbandon,
@@ -91,7 +116,14 @@ void ClientBase::arm_timeout(const RequestId& id, std::size_t attempt) {
     }
     // Copy the command: on_request_timeout may re-enter and mutate pending_.
     const sm::Command command = it->second.command;
+    // Re-activate the command's root span so the retry's messages stay on
+    // the original trace (the retry is causally part of the same command).
+    const obs::SpanId root = root_span_of(id);
+    if (root != 0) {
+      set_active_span(obs::TraceContext{obs::trace_id_of(id), root});
+    }
     on_request_timeout(command, next_attempt);
+    if (root != 0) clear_active_span();
     arm_timeout(id, next_attempt);
   });
 }
@@ -111,6 +143,18 @@ void ClientBase::handle_committed(const RequestId& id) {
     // abandonment so the accounting invariant keeps holding. (The obs
     // counter stays monotonic: it counts abandon *events*, not the net.)
     --abandoned_;
+  }
+  if (span_store() != nullptr) {
+    // Terminal event of the trace: close the root span at commit time and
+    // record which span delivered the commit (the handler span of the
+    // message being processed right now; 0 on an untraced path).
+    const auto root_it = root_spans_.find(id);
+    if (root_it != root_spans_.end()) {
+      span_store()->close(root_it->second, true_now());
+      span_store()->note_commit(obs::trace_id_of(id), id, true_now(),
+                                active_span().span_id);
+      root_spans_.erase(root_it);
+    }
   }
   auto it = sent_at_.find(id);
   if (it == sent_at_.end()) return;

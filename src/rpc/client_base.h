@@ -81,6 +81,8 @@ class ClientBase : public Node {
 
   void arm_timeout(const RequestId& id, std::size_t attempt);
   void init_obs();
+  /// Root span id of a live request's trace (0 when spans are disabled).
+  [[nodiscard]] obs::SpanId root_span_of(const RequestId& id) const;
 
   CommitHook commit_hook_;
   SendHook send_hook_;
@@ -91,6 +93,7 @@ class ClientBase : public Node {
   obs::CounterHandle obs_abandoned_;
   obs::HistogramHandle obs_commit_latency_;
   std::unordered_map<RequestId, TimePoint> sent_at_;  // true send time
+  std::unordered_map<RequestId, obs::SpanId> root_spans_;  // live command traces
   std::unordered_set<std::uint64_t> done_seqs_;       // committed request seqs
   std::unordered_map<RequestId, PendingRequest> pending_;  // timeout-tracked
   std::unordered_set<std::uint64_t> abandoned_seqs_;  // for late-commit fixup

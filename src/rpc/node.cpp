@@ -30,8 +30,33 @@ void Node::attach() {
   attached_ = true;
   context_.register_node(id_, dc_, [this](const net::Packet& pkt) {
     if (obs_.metrics != nullptr) instrument_recv(pkt);
+    if (obs_.spans != nullptr) {
+      const wire::TraceContextWire ctx = wire::peek_trace_context(pkt.payload);
+      if (ctx.valid()) {
+        dispatch_traced(pkt, ctx);
+        return;
+      }
+      clear_active_span();
+    }
     on_packet(pkt);
   });
+}
+
+void Node::dispatch_traced(const net::Packet& pkt, const wire::TraceContextWire& ctx) {
+  obs::SpanStore& spans = *obs_.spans;
+  const wire::MessageType type = wire::peek_type(pkt.payload);
+  const TimePoint now = context_.now();
+  const std::int32_t edge =
+      spans.add_edge(ctx.trace_id, ctx.span_id, pkt.src, id_, pkt.sent_at, now,
+                     static_cast<std::uint16_t>(type));
+  const obs::SpanId handler = spans.open(ctx.trace_id, ctx.span_id, id_,
+                                         wire::message_type_name(type), now,
+                                         static_cast<std::uint16_t>(type), edge);
+  spans.bind_edge_target(edge, handler);
+  set_active_span(obs::TraceContext{ctx.trace_id, handler});
+  on_packet(pkt);
+  spans.close(handler, context_.now());
+  clear_active_span();
 }
 
 void Node::instrument_send(wire::MessageType type, std::size_t bytes) {

@@ -52,10 +52,17 @@ class Node {
 
   [[nodiscard]] const sim::LocalClock& clock() const { return clock_; }
 
-  /// Serialize and send a protocol message.
+  /// Serialize and send a protocol message. When a span store is installed
+  /// and a span is active (we are handling a traced packet, or a client is
+  /// proposing a command), the active trace context is piggybacked on the
+  /// envelope so the receiver can link its handling back to this span.
   template <typename M>
   void send(NodeId dst, const M& msg) {
-    wire::Payload payload = wire::encode_message(msg);
+    wire::Payload payload =
+        (obs_.spans != nullptr && active_span_.valid())
+            ? wire::encode_message_traced(
+                  msg, wire::TraceContextWire{active_span_.trace_id, active_span_.span_id})
+            : wire::encode_message(msg);
     if (obs_.metrics != nullptr) instrument_send(M::kType, payload.size());
     context_.send(id_, dst, std::move(payload));
   }
@@ -78,9 +85,34 @@ class Node {
   /// delivered packet.
   virtual void on_packet(const net::Packet& packet) = 0;
 
+  /// The span context outgoing messages are stamped with. Set automatically
+  /// while handling a traced packet; ClientBase sets it around proposals.
+  [[nodiscard]] const obs::TraceContext& active_span() const { return active_span_; }
+  void set_active_span(const obs::TraceContext& ctx) { active_span_ = ctx; }
+  void clear_active_span() { active_span_ = {}; }
+
+  /// The span store this node records into (null = spans disabled).
+  [[nodiscard]] obs::SpanStore* span_store() const { return obs_.spans; }
+
+  /// Open a named child span of the active span (a wait that spans virtual
+  /// time, e.g. a quorum gather). Returns 0 when spans are disabled or no
+  /// span is active; close_wait_span(0) is a no-op, so call sites need no
+  /// guards.
+  [[nodiscard]] obs::SpanId open_wait_span(const char* name) {
+    if (obs_.spans == nullptr || !active_span_.valid()) return 0;
+    return obs_.spans->open(active_span_.trace_id, active_span_.span_id, id_, name,
+                            context_.now());
+  }
+  void close_wait_span(obs::SpanId span) {
+    if (span != 0 && obs_.spans != nullptr) obs_.spans->close(span, context_.now());
+  }
+
  private:
   void instrument_send(wire::MessageType type, std::size_t bytes);
   void instrument_recv(const net::Packet& packet);
+  /// Span bookkeeping around on_packet for a traced packet: records the
+  /// send/recv edge, opens the handler span, and activates its context.
+  void dispatch_traced(const net::Packet& packet, const wire::TraceContextWire& ctx);
 
   std::unique_ptr<Context> owned_context_;  // set by the Network convenience ctor
   Context& context_;
@@ -88,6 +120,8 @@ class Node {
   std::size_t dc_;
   sim::LocalClock clock_;
   bool attached_ = false;
+
+  obs::TraceContext active_span_;
 
   // Per-message-type handles, created lazily off the hot path; index = wire
   // tag. init bits distinguish "not yet created" from "disabled".

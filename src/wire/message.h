@@ -146,6 +146,20 @@ enum class MessageType : std::uint16_t {
 /// handle tables can be fixed arrays.
 inline constexpr std::size_t kMaxMessageTypeTag = 80;
 
+/// Envelope flag bit: when set on the type tag, a trace context (two
+/// varints: trace id, sending span id) sits between the tag and the body.
+/// Real tags stay below kMaxMessageTypeTag, so the bit is unambiguous.
+inline constexpr std::uint16_t kTraceContextFlag = 0x8000;
+
+/// The causal trace context piggybacked on a message envelope (see
+/// obs/span.h for the semantics). Zero fields = no context.
+struct TraceContextWire {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  [[nodiscard]] constexpr bool valid() const { return trace_id != 0 && span_id != 0; }
+};
+
 /// Serialize a message struct (anything with `kType` and `encode`) into an
 /// envelope payload.
 template <typename M>
@@ -156,19 +170,50 @@ template <typename M>
   return w.take();
 }
 
-/// Read the envelope type tag without consuming the body.
+/// Serialize a message with a piggybacked trace context. When `ctx` is not
+/// valid this is byte-identical to encode_message (tracing must never
+/// change the wire format of untraced runs).
+template <typename M>
+[[nodiscard]] Payload encode_message_traced(const M& msg, const TraceContextWire& ctx) {
+  if (!ctx.valid()) return encode_message(msg);
+  ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(M::kType) | kTraceContextFlag);
+  w.varint(ctx.trace_id);
+  w.varint(ctx.span_id);
+  msg.encode(w);
+  return w.take();
+}
+
+/// Read the envelope type tag without consuming the body. The trace-context
+/// flag is masked off, so dispatch code is oblivious to tracing.
 [[nodiscard]] inline MessageType peek_type(std::span<const std::uint8_t> payload) {
   ByteReader r{payload};
-  return static_cast<MessageType>(r.u16());
+  return static_cast<MessageType>(r.u16() & ~kTraceContextFlag);
+}
+
+/// Read the piggybacked trace context, if any (invalid context otherwise).
+[[nodiscard]] inline TraceContextWire peek_trace_context(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r{payload};
+  if ((r.u16() & kTraceContextFlag) == 0) return {};
+  TraceContextWire ctx;
+  ctx.trace_id = r.varint();
+  ctx.span_id = r.varint();
+  return ctx;
 }
 
 /// Parse a full message of known type M; throws WireError on a tag mismatch
-/// or malformed body.
+/// or malformed body. A piggybacked trace context is skipped transparently.
 template <typename M>
 [[nodiscard]] M decode_message(std::span<const std::uint8_t> payload) {
   ByteReader r{payload};
-  const auto tag = static_cast<MessageType>(r.u16());
+  const std::uint16_t raw = r.u16();
+  const auto tag = static_cast<MessageType>(raw & ~kTraceContextFlag);
   if (tag != M::kType) throw WireError("decode_message: type tag mismatch");
+  if ((raw & kTraceContextFlag) != 0) {
+    (void)r.varint();  // trace id
+    (void)r.varint();  // span id
+  }
   M msg = M::decode(r);
   r.expect_exhausted();
   return msg;

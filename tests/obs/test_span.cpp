@@ -1,0 +1,155 @@
+// SpanStore unit tests plus end-to-end trace-context propagation across a
+// simulated RPC hop: a root span's context piggybacks on the request, the
+// receiver's handler span links back through a message edge, and the reply
+// links the round trip.
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include "measure/messages.h"
+#include "net/network.h"
+#include "rpc/node.h"
+#include "sim/simulator.h"
+
+namespace domino::obs {
+namespace {
+
+TEST(SpanStore, OpenCloseAndLookup) {
+  SpanStore store;
+  const SpanId root = store.open_root(9, NodeId{1000}, "command", TimePoint::epoch());
+  ASSERT_NE(root, 0u);
+  EXPECT_EQ(store.root_of(9), root);
+  EXPECT_TRUE(store.span(root)->root);
+
+  const SpanId child = store.open(9, root, NodeId{0}, "child",
+                                  TimePoint::epoch() + milliseconds(5));
+  ASSERT_NE(child, 0u);
+  EXPECT_EQ(store.span(child)->parent, root);
+  EXPECT_FALSE(store.span(child)->root);
+
+  store.close(child, TimePoint::epoch() + milliseconds(8));
+  EXPECT_EQ(store.span(child)->end, TimePoint::epoch() + milliseconds(8));
+
+  EXPECT_EQ(store.span(0), nullptr);
+  EXPECT_EQ(store.span(99), nullptr);
+  EXPECT_EQ(store.root_of(12345), 0u);
+}
+
+TEST(SpanStore, FirstRootWins) {
+  SpanStore store;
+  const SpanId a = store.open_root(5, NodeId{1}, "command", TimePoint::epoch());
+  const SpanId b =
+      store.open_root(5, NodeId{2}, "command", TimePoint::epoch() + milliseconds(1));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(store.root_of(5), a);
+}
+
+TEST(SpanStore, OverflowDropsAndCounts) {
+  SpanStore store(/*max_spans=*/2, /*max_edges=*/1);
+  EXPECT_NE(store.open(1, 0, NodeId{0}, "a", TimePoint::epoch()), 0u);
+  EXPECT_NE(store.open(1, 0, NodeId{0}, "b", TimePoint::epoch()), 0u);
+  EXPECT_EQ(store.open(1, 0, NodeId{0}, "c", TimePoint::epoch()), 0u);
+  EXPECT_EQ(store.dropped_spans(), 1u);
+
+  EXPECT_EQ(store.add_edge(1, 1, NodeId{0}, NodeId{1}, TimePoint::epoch(),
+                           TimePoint::epoch(), 0),
+            0);
+  EXPECT_EQ(store.add_edge(1, 1, NodeId{0}, NodeId{1}, TimePoint::epoch(),
+                           TimePoint::epoch(), 0),
+            -1);
+  EXPECT_EQ(store.dropped_edges(), 1u);
+
+  // close / bind on dropped records are safe no-ops.
+  store.close(0, TimePoint::epoch());
+  store.bind_edge_target(-1, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Propagation across a simulated RPC hop.
+
+net::Topology two_dc() { return net::Topology{{"A", "B"}, {{0.0, 10.0}, {10.0, 0.0}}}; }
+
+class PingNode : public rpc::Node {
+ public:
+  using Node::Node;
+  SpanId root = 0;
+  int replies = 0;
+
+  /// Open a root span and send a traced probe inside its context.
+  void start(NodeId dst) {
+    root = span_store()->open_root(/*trace=*/1, id(), "command", true_now());
+    set_active_span(TraceContext{1, root});
+    measure::Probe p;
+    p.seq = 1;
+    send(dst, p);
+    clear_active_span();
+    // After the traced proposal, sends are untraced again.
+    measure::Probe untraced;
+    untraced.seq = 2;
+    send(dst, untraced);
+  }
+
+ protected:
+  void on_packet(const net::Packet& packet) override {
+    if (wire::peek_type(packet.payload) == wire::MessageType::kProbe) {
+      const auto probe = wire::decode_message<measure::Probe>(packet.payload);
+      if (probe.seq != 1) return;  // the untraced probe gets no reply
+      measure::ProbeReply reply;
+      reply.seq = probe.seq;
+      send(packet.src, reply);  // inside the handler span: stays traced
+    } else {
+      ++replies;
+    }
+  }
+};
+
+TEST(SpanPropagation, RoundTripLinksSpansThroughEdges) {
+  sim::Simulator simulator;
+  net::Network network(simulator, two_dc(), 1);
+  SpanStore store;
+  obs::Sink sink;
+  sink.spans = &store;
+  network.bind_obs(sink);
+
+  PingNode a(NodeId{1000}, 0, network);
+  PingNode b(NodeId{0}, 1, network);
+  a.attach();
+  b.attach();
+  a.start(b.id());
+  simulator.run();
+
+  EXPECT_EQ(a.replies, 1);
+  // Spans: root on A, Probe handler on B, ProbeReply handler on A. The
+  // untraced probe must not have produced a handler span.
+  ASSERT_EQ(store.spans().size(), 3u);
+  const Span& root = store.spans()[0];
+  const Span& handler_b = store.spans()[1];
+  const Span& handler_a = store.spans()[2];
+  EXPECT_TRUE(root.root);
+  EXPECT_EQ(root.node, a.id());
+  EXPECT_EQ(handler_b.parent, root.id);
+  EXPECT_EQ(handler_b.node, b.id());
+  EXPECT_STREQ(handler_b.name, "Probe");
+  EXPECT_EQ(handler_a.parent, handler_b.id);
+  EXPECT_EQ(handler_a.node, a.id());
+  EXPECT_STREQ(handler_a.name, "ProbeReply");
+
+  // Edges: request A->B, reply B->A, with FIFO send/recv stamps.
+  ASSERT_EQ(store.edges().size(), 2u);
+  const MsgEdge& request = store.edges()[0];
+  const MsgEdge& reply = store.edges()[1];
+  EXPECT_EQ(request.from_span, root.id);
+  EXPECT_EQ(request.to_span, handler_b.id);
+  EXPECT_EQ(request.src, a.id());
+  EXPECT_EQ(request.dst, b.id());
+  EXPECT_LT(request.sent_at, request.recv_at);  // 10 ms one-way delay
+  EXPECT_EQ(reply.from_span, handler_b.id);
+  EXPECT_EQ(reply.to_span, handler_a.id);
+  EXPECT_EQ(reply.sent_at, request.recv_at);  // sent from inside the handler
+  EXPECT_LT(reply.sent_at, reply.recv_at);
+  EXPECT_EQ(handler_b.in_edge, 0);
+  EXPECT_EQ(handler_a.in_edge, 1);
+}
+
+}  // namespace
+}  // namespace domino::obs
