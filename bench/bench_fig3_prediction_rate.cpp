@@ -45,5 +45,18 @@ int main() {
               "(paper: 93.9-94.9%% across region pairs) -> high-rate regime: %s\n",
               p95.correct_rate * 100, p95.correct_rate > 0.90 ? "yes" : "NO");
   (void)p95_w1000;
+
+  // Live in-protocol counterpart of the offline trace sweep above: on a
+  // full Globe deployment, every prober's calibration coverage is the same
+  // "correct prediction rate", measured against real probe arrivals, and
+  // the decision audit shows what the residual mispredictions cost.
+  harness::Scenario s = bench::globe_scenario();
+  s.rps = 200;
+  s.warmup = seconds(2);
+  s.measure = seconds(8);
+  s.seed = 99;
+  s.measurement_percentile = 95.0;
+  bench::print_prediction_audit(harness::Protocol::kDomino, s,
+                                "Globe / p95 estimates");
   return 0;
 }

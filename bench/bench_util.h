@@ -118,6 +118,78 @@ inline void print_phase_breakdown(harness::Protocol protocol, harness::Scenario 
   }
 }
 
+/// Run one audited run (prediction_audit on) and print the prediction-audit
+/// digest: decision mix, mean absolute prediction error, oracle regret
+/// (total / mean / max over the run), misprediction blame per replica, and
+/// the estimator-calibration coverage of every prober. The audit is pure
+/// observation (no wire or timing changes), but the digest uses its own run
+/// so the measured runs stay untouched.
+inline void print_prediction_audit(harness::Protocol protocol, harness::Scenario s,
+                                   const char* label) {
+  s.prediction_audit = true;
+  const harness::RunResult r = harness::run_protocol(protocol, s);
+  if (r.predict == nullptr) return;
+  const obs::PredictionAudit& a = *r.predict;
+  std::printf("\n%s prediction audit (%llu decisions, %llu reconciled):\n", label,
+              static_cast<unsigned long long>(a.decisions()),
+              static_cast<unsigned long long>(a.reconciled()));
+  if (a.reconciled() == 0) {
+    std::printf("  (no reconciled decisions)\n");
+    return;
+  }
+  std::printf("  outcomes: fast_path %llu, slow_path %llu, dm_commit %llu"
+              " (failovers %llu, adaptive overrides %llu)\n",
+              static_cast<unsigned long long>(a.fast_path()),
+              static_cast<unsigned long long>(a.slow_path()),
+              static_cast<unsigned long long>(a.dm_commits()),
+              static_cast<unsigned long long>(a.failovers()),
+              static_cast<unsigned long long>(a.adaptive_overrides()));
+  if (a.error_samples() > 0) {
+    std::printf("  prediction error: mean |realized - predicted| %.3f ms"
+                " over %llu decisions\n",
+                static_cast<double>(a.error_abs_sum_ns()) /
+                    static_cast<double>(a.error_samples()) / 1e6,
+                static_cast<unsigned long long>(a.error_samples()));
+  }
+  if (a.regret_samples() > 0) {
+    std::printf("  oracle regret: total %.1f ms, mean %.3f ms, max %.3f ms"
+                " over %llu decisions\n",
+                static_cast<double>(a.regret_sum_ns()) / 1e6,
+                static_cast<double>(a.regret_sum_ns()) /
+                    static_cast<double>(a.regret_samples()) / 1e6,
+                static_cast<double>(a.regret_max_ns()) / 1e6,
+                static_cast<unsigned long long>(a.regret_samples()));
+  }
+  std::map<NodeId, std::uint64_t> blamed;
+  for (const obs::DecisionRecord& rec : a.records()) {
+    if (rec.blamed.valid()) ++blamed[rec.blamed];
+  }
+  if (!blamed.empty()) {
+    std::printf("  blamed for missed fast paths:");
+    for (const auto& [node, count] : blamed) {
+      std::printf(" %s x%llu", node.to_string().c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+    std::printf("\n");
+  }
+  if (!r.calibration.empty()) {
+    std::uint64_t samples = 0;
+    std::uint64_t covered = 0;
+    const obs::CalibrationRow* worst = nullptr;
+    for (const obs::CalibrationRow& row : r.calibration) {
+      samples += row.samples;
+      covered += row.covered;
+      if (worst == nullptr || row.coverage() < worst->coverage()) worst = &row;
+    }
+    std::printf("  calibration: %zu series, overall coverage %.3f;"
+                " worst %s->%s at %.3f (max overshoot %.3f ms)\n",
+                r.calibration.size(),
+                static_cast<double>(covered) / static_cast<double>(samples),
+                worst->owner.to_string().c_str(), worst->target.to_string().c_str(),
+                worst->coverage(), static_cast<double>(worst->max_overshoot_ns) / 1e6);
+  }
+}
+
 inline void print_header(const std::string& title, const std::string& paper_ref) {
   std::printf("==========================================================\n");
   std::printf("%s\n", title.c_str());

@@ -1,65 +1,103 @@
 #!/usr/bin/env bash
-# Tier-1 check: configure, build, and run the full test suite.
+# Tier-1 check: configure, build, and run test suites.
 #
 # Usage:
-#   scripts/check.sh              # plain RelWithDebInfo build + ctest
-#   scripts/check.sh --sanitize   # same, with ASan + UBSan (DOMINO_SANITIZE)
+#   scripts/check.sh              # plain RelWithDebInfo build + full ctest
+#   scripts/check.sh --sanitize   # full suite with ASan + UBSan (DOMINO_SANITIZE)
 #   scripts/check.sh --chaos      # chaos suite only (ctest -L chaos), sanitized
 #   scripts/check.sh --trace      # tracing suite only (ctest -L trace), sanitized
+#   scripts/check.sh --predict    # prediction-audit suite (ctest -L predict), sanitized
+#   scripts/check.sh --all        # plain full suite, then every sanitized gate
 #
-# The build directory is build/ (or build-asan/ with
-# --sanitize/--chaos/--trace) under the repository root.
+# The build directory is build/ (or build-asan/ for sanitized modes) under
+# the repository root. Extra arguments are forwarded to ctest.
 #
-# --chaos is the robustness gate: the seeded fault-injection sweep
-# (tests/integration/test_chaos.cpp) exercises crash/partition/degradation
-# schedules across every protocol, and running it under ASan+UBSan catches
-# the memory errors that fault-handling paths are most prone to.
-#
-# --trace is the observability gate: the causal-tracing suite (wire trace
-# context, span propagation, critical-path analysis, Chrome-trace export)
-# under the same sanitizers, followed by a smoke run of
-# scripts/trace_summary.py over the per-command CSV the suite writes.
+# Gates (one row per mode in the table below):
+#   --chaos   robustness: the seeded fault-injection sweep under ASan+UBSan
+#             catches the memory errors fault-handling paths are prone to.
+#   --trace   observability: causal tracing, critical paths, Chrome export;
+#             smoke-runs scripts/trace_summary.py on the suite's sample CSV.
+#   --predict prediction audit: decision-record reconciliation, calibration
+#             and the exact oracle-regret identity; smoke-runs
+#             scripts/predict_summary.py on the suite's sample CSVs.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="$root/build"
-cmake_args=()
-ctest_args=()
-trace_smoke=0
 
+# Mode table: mode -> "build_subdir:sanitize:ctest_label:smoke".
+# Empty label = full suite; smoke names the post-ctest tooling check.
+declare -A modes=(
+  [--default]="build:0::"
+  [--sanitize]="build-asan:1::"
+  [--chaos]="build-asan:1:chaos:"
+  [--trace]="build-asan:1:trace:trace"
+  [--predict]="build-asan:1:predict:predict"
+)
+
+usage() {
+  sed -n '2,22p' "$0" | sed 's/^# \{0,1\}//'
+  exit 2
+}
+
+# Summarise a CSV with a stdlib-only script iff python3 and the file exist
+# (test suites write the samples into the build's tests/ directory).
+smoke_csv() {
+  local script="$1"; shift
+  local missing=0
+  for f in "$@"; do [[ -f "$f" ]] || missing=1; done
+  if command -v python3 >/dev/null && [[ "$missing" == 0 ]]; then
+    python3 "$script" "$@"
+  else
+    echo "$(basename "$script") smoke skipped (python3 or sample missing: $*)" >&2
+  fi
+}
+
+run_smoke() {
+  local smoke="$1" build_dir="$2"
+  case "$smoke" in
+    trace)
+      smoke_csv "$root/scripts/trace_summary.py" "$build_dir/tests/critical_path_sample.csv"
+      ;;
+    predict)
+      smoke_csv "$root/scripts/predict_summary.py" \
+        "$build_dir/tests/predict_sample.csv" "$build_dir/tests/calibration_sample.csv"
+      ;;
+  esac
+}
+
+run_mode() {
+  local mode="$1"; shift
+  local row="${modes[$mode]}"
+  local subdir sanitize label smoke
+  IFS=: read -r subdir sanitize label smoke <<<"$row"
+  local build_dir="$root/$subdir"
+  local cmake_args=()
+  [[ "$sanitize" == 1 ]] && cmake_args+=(-DDOMINO_SANITIZE=ON)
+  local ctest_args=()
+  [[ -n "$label" ]] && ctest_args+=(-L "$label")
+
+  cmake -B "$build_dir" -S "$root" "${cmake_args[@]}"
+  cmake --build "$build_dir" -j "$(nproc)"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "${ctest_args[@]}" "$@"
+  run_smoke "$smoke" "$build_dir"
+}
+
+mode="--default"
 case "${1:-}" in
-  --sanitize)
-    build_dir="$root/build-asan"
-    cmake_args+=(-DDOMINO_SANITIZE=ON)
+  --help|-h) usage ;;
+  --all)
     shift
+    # Full plain suite first, then every sanitized gate (one build-asan
+    # configure+build serves all three labelled suites).
+    run_mode --default "$@"
+    for gate in --chaos --trace --predict; do run_mode "$gate" "$@"; done
+    exit 0
     ;;
-  --chaos)
-    build_dir="$root/build-asan"
-    cmake_args+=(-DDOMINO_SANITIZE=ON)
-    ctest_args+=(-L chaos)
-    shift
-    ;;
-  --trace)
-    build_dir="$root/build-asan"
-    cmake_args+=(-DDOMINO_SANITIZE=ON)
-    ctest_args+=(-L trace)
-    trace_smoke=1
+  --*)
+    [[ -v "modes[$1]" ]] || usage
+    mode="$1"
     shift
     ;;
 esac
 
-cmake -B "$build_dir" -S "$root" "${cmake_args[@]}"
-cmake --build "$build_dir" -j "$(nproc)"
-ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "${ctest_args[@]}" "$@"
-
-if [[ "$trace_smoke" == 1 ]]; then
-  # CriticalPathRun.WritesSampleCsvForTooling leaves a per-command CSV in
-  # the test working directory; summarising it proves the CSV and the
-  # stdlib-only tooling agree on the format.
-  sample="$build_dir/tests/critical_path_sample.csv"
-  if command -v python3 >/dev/null && [[ -f "$sample" ]]; then
-    python3 "$root/scripts/trace_summary.py" "$sample"
-  else
-    echo "trace_summary smoke skipped (python3 or $sample missing)" >&2
-  fi
-fi
+run_mode "$mode" "$@"

@@ -13,13 +13,20 @@ commands hit that phase, total/mean time spent in it, and its share of
 the protocol's summed end-to-end latency.  Shares add up to 100% because
 the analyzer tiles [submit, commit] exactly.
 
+Arguments may also be directories: each is scanned (non-recursively) for
+*.csv files, and every file found is summarised as its own run with a
+one-line digest (file, protocol, commands, mean latency, dominant phase)
+instead of the full table — handy for a results/ directory of sweeps.
+Explicitly named files keep the full per-phase table.
+
 Stdlib only; no third-party dependencies.
 
 Usage:
-  python3 scripts/trace_summary.py <csv> [<csv> ...]
+  python3 scripts/trace_summary.py <csv-or-dir> [<csv-or-dir> ...]
 """
 
 import csv
+import os
 import sys
 from collections import defaultdict
 
@@ -55,11 +62,50 @@ def print_table(proto, phase_map, n_commands):
     print(f"  {'(sum)':<24} {'':>6} {total_ns / 1e6:>10.3f} {'':>9} {100.0:>6.1f}%")
 
 
+def is_trace_csv(path):
+    """Directories hold mixed exports; only digest critical-path CSVs."""
+    with open(path, newline="") as fh:
+        header = csv.DictReader(fh).fieldnames or []
+    return {"protocol", "phase", "dur_ns"} <= set(header)
+
+
+def print_digest(path):
+    """One line per run: file, protocol, commands, mean latency, top phase."""
+    if not is_trace_csv(path):
+        print(f"{path}: not a critical-path CSV, skipped")
+        return
+    phases, commands = load([path])
+    if not phases:
+        print(f"{path}: no critical-path rows")
+        return
+    for proto in sorted(phases):
+        phase_map = phases[proto]
+        n = len(commands[proto])
+        total_ns = sum(cell[0] for cell in phase_map.values())
+        top_phase, top_cell = max(phase_map.items(), key=lambda kv: kv[1][0])
+        print(f"{path}: {proto} {n} commands, "
+              f"{total_ns / n / 1e6:.3f} ms mean, "
+              f"top phase {top_phase} ({100.0 * top_cell[0] / total_ns:.1f}%)")
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    phases, commands = load(argv[1:])
+    files = []
+    digests = []
+    for arg in argv[1:]:
+        if os.path.isdir(arg):
+            digests.extend(os.path.join(arg, name)
+                           for name in sorted(os.listdir(arg))
+                           if name.endswith(".csv"))
+        else:
+            files.append(arg)
+    for path in digests:
+        print_digest(path)
+    if not files:
+        return 0 if digests else 1
+    phases, commands = load(files)
     if not phases:
         print("no critical-path rows found", file=sys.stderr)
         return 1

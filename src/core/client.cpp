@@ -86,6 +86,7 @@ void Client::record_dfp_outcome(bool fast) {
 void Client::propose(const sm::Command& command) {
   const Estimates est = estimates();
   bool use_dfp = false;
+  bool adaptive_override = false;
   switch (config_.mode) {
     case ClientConfig::Mode::kDfpOnly:
       use_dfp = true;
@@ -101,8 +102,27 @@ void Client::propose(const sm::Command& command) {
       if (config_.adaptive && use_dfp && outcomes_.size() >= config_.adaptive_window / 2 &&
           recent_fast_rate() < 0.5) {
         use_dfp = false;
+        adaptive_override = true;
       }
       break;
+  }
+  if (obs::PredictionAudit* a = audit()) {
+    // Capture what was predicted at the choice point; the commit path
+    // reconciles it into error / oracle-regret records (obs/predict.h).
+    obs::DecisionRecord d;
+    d.request = command.id;
+    d.client = id();
+    d.decided_at = true_now();
+    d.mode = config_.mode == ClientConfig::Mode::kAuto ? obs::DecisionMode::kAuto
+             : config_.mode == ClientConfig::Mode::kDfpOnly
+                 ? obs::DecisionMode::kDfpForced
+                 : obs::DecisionMode::kDmForced;
+    d.predicted_dfp = est.dfp;
+    d.predicted_dm = est.dm;
+    d.dm_leader = est.dm_leader;
+    d.adaptive_override = adaptive_override;
+    d.recent_fast_rate = recent_fast_rate();
+    a->open(d);
   }
   if (use_dfp && est.dfp != Duration::max()) {
     ++dfp_chosen_;
@@ -123,6 +143,7 @@ NodeId Client::fallback_dm_leader() const {
 }
 
 void Client::on_request_timeout(const sm::Command& command, std::size_t /*attempt*/) {
+  if (obs::PredictionAudit* a = audit()) a->note_failover(command.id);
   // Forget the DFP attempt (any quorum it was gathering is moot; the DFP
   // timestamp of the retry will differ, so late notices are ignored).
   if (const auto it = dfp_pending_.find(command.id); it != dfp_pending_.end()) {
@@ -140,10 +161,14 @@ void Client::on_request_timeout(const sm::Command& command, std::size_t /*attemp
 }
 
 void Client::propose_dfp(const sm::Command& command) {
+  const TimePoint now_local = local_now();
   const TimePoint predicted = measure::dfp_request_timestamp(
-      view(), local_now(), replicas_, config_.additional_delay);
+      view(), now_local, replicas_, config_.additional_delay);
   if (predicted == TimePoint::max()) {
     // No usable arrival predictions; fall back to DM.
+    if (obs::PredictionAudit* a = audit()) {
+      a->note_dm(command.id, NodeId::invalid(), /*unpredictable=*/true);
+    }
     propose_dm(command, fallback_dm_leader());
     return;
   }
@@ -160,13 +185,32 @@ void Client::propose_dfp(const sm::Command& command) {
     while (ts <= last_dfp_ts_) ts += space;
   }
   last_dfp_ts_ = ts;
+  if (obs::PredictionAudit* a = audit()) {
+    // Record the stamped deadline and each replica's predicted arrival
+    // offset, so acceptance notices can be reconciled into per-replica
+    // overshoot and blame.
+    std::vector<Duration> offsets;
+    offsets.reserve(replicas_.size());
+    for (NodeId r : replicas_) offsets.push_back(view().owd_estimate(r));
+    a->note_dfp(command.id, ts, now_local, config_.additional_delay, adaptive_extra_,
+                replicas_, offsets);
+  }
   dfp_pending_[command.id] = DfpPendingState{ts, 0, open_wait_span("dfp_attempt")};
   DfpPropose msg{ts, command};
   for (NodeId r : replicas_) send(r, msg);
 }
 
 void Client::propose_dm(const sm::Command& command, NodeId leader) {
+  if (obs::PredictionAudit* a = audit()) {
+    a->note_dm(command.id, leader, /*unpredictable=*/false);
+  }
   send(leader, DmPropose{command});
+}
+
+void Client::on_committed(const RequestId& id, TimePoint sent_at, TimePoint committed_at) {
+  if (obs::PredictionAudit* a = audit()) {
+    a->reconcile(id, committed_at, committed_at - sent_at);
+  }
 }
 
 void Client::on_packet(const net::Packet& packet) {
@@ -181,6 +225,12 @@ void Client::on_packet(const net::Packet& packet) {
     case wire::MessageType::kDfpAcceptNotice: {
       const auto notice = wire::decode_message<DfpAcceptNotice>(packet.payload);
       if (notice.command.id.client != id()) break;
+      if (obs::PredictionAudit* a = audit()) {
+        // Rejections matter too: they carry the realized arrival that blew
+        // the deadline (the audit validates ts against the live attempt).
+        a->note_arrival(notice.command.id, packet.src, notice.ts,
+                        notice.sender_local_time, notice.accepted);
+      }
       auto it = dfp_pending_.find(notice.command.id);
       if (it == dfp_pending_.end() || it->second.ts != notice.ts) break;
       if (!notice.accepted) break;  // rejected: wait for the coordinator's slow path
@@ -190,6 +240,9 @@ void Client::on_packet(const net::Packet& packet) {
         ++dfp_fast_learns_;
         obs_fast_learns_.inc();
         record_dfp_outcome(true);
+        if (obs::PredictionAudit* a = audit()) {
+          a->note_outcome(notice.command.id, obs::DecisionOutcome::kFastPath);
+        }
         handle_committed(notice.command.id);
       }
       break;
@@ -203,11 +256,17 @@ void Client::on_packet(const net::Packet& packet) {
       }
       ++dfp_slow_replies_;
       obs_slow_replies_.inc();
+      if (obs::PredictionAudit* a = audit()) {
+        a->note_outcome(reply.request, obs::DecisionOutcome::kSlowPath);
+      }
       handle_committed(reply.request);
       break;
     }
     case wire::MessageType::kDmClientReply: {
       const auto reply = wire::decode_message<DmClientReply>(packet.payload);
+      if (obs::PredictionAudit* a = audit()) {
+        a->note_outcome(reply.request, obs::DecisionOutcome::kDmCommit);
+      }
       handle_committed(reply.request);
       break;
     }

@@ -115,10 +115,17 @@ class Client : public rpc::ClientBase {
   /// intervals, and is skipped when picking the new DM leader.
   void on_request_timeout(const sm::Command& command, std::size_t attempt) override;
   void on_packet(const net::Packet& packet) override;
+  /// Reconciliation point of the prediction audit: realized commit latency
+  /// is exact here, so the DecisionRecord opened in propose() is finalized
+  /// (error, oracle regret, misprediction attribution) exactly once.
+  void on_committed(const RequestId& id, TimePoint sent_at, TimePoint committed_at) override;
 
  private:
   void propose_dfp(const sm::Command& command);
   void propose_dm(const sm::Command& command, NodeId leader);
+  /// The run-wide decision-record store, or null when prediction auditing
+  /// is off (the default: zero overhead beyond one branch per site).
+  [[nodiscard]] obs::PredictionAudit* audit() const { return obs_sink().predict; }
   /// First replica whose feed is not stale (falls back to replicas_.front()
   /// when everything looks stale, e.g. right after startup).
   [[nodiscard]] NodeId fallback_dm_leader() const;

@@ -21,6 +21,12 @@ void append_u(std::string& out, std::uint64_t v) {
   out += buf;
 }
 
+void append_i(std::string& out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
 void append_latency_stats(std::string& out, const LatencyStats& s) {
   out += "{\"count\":";
   append_u(out, s.count);
@@ -105,6 +111,51 @@ std::string RunReport::to_json(bool include_trace) const {
     out += ",\n\"critical_paths\":";
     append_u(out, critical_paths.size());
   }
+  if (predict != nullptr) {
+    // Aggregates only; the per-decision rows live in predict_csv().
+    out += ",\n\"predict\":{\"decisions\":";
+    append_u(out, predict->decisions());
+    out += ",\"reconciled\":";
+    append_u(out, predict->reconciled());
+    out += ",\"pending\":";
+    append_u(out, predict->pending());
+    out += ",\"dropped\":";
+    append_u(out, predict->dropped());
+    out += ",\"fast_path\":";
+    append_u(out, predict->fast_path());
+    out += ",\"slow_path\":";
+    append_u(out, predict->slow_path());
+    out += ",\"dm_commits\":";
+    append_u(out, predict->dm_commits());
+    out += ",\"failovers\":";
+    append_u(out, predict->failovers());
+    out += ",\"adaptive_overrides\":";
+    append_u(out, predict->adaptive_overrides());
+    out += ",\"error_samples\":";
+    append_u(out, predict->error_samples());
+    out += ",\"error_abs_sum_ns\":";
+    append_i(out, predict->error_abs_sum_ns());
+    out += ",\"regret_samples\":";
+    append_u(out, predict->regret_samples());
+    out += ",\"regret_sum_ns\":";
+    append_i(out, predict->regret_sum_ns());
+    out += ",\"regret_max_ns\":";
+    append_i(out, predict->regret_max_ns());
+    out += "}";
+    out += ",\n\"calibration\":{\"series\":";
+    append_u(out, calibration.size());
+    std::uint64_t samples = 0;
+    std::uint64_t covered = 0;
+    for (const obs::CalibrationRow& row : calibration) {
+      samples += row.samples;
+      covered += row.covered;
+    }
+    out += ",\"samples\":";
+    append_u(out, samples);
+    out += ",\"covered\":";
+    append_u(out, covered);
+    out += "}";
+  }
   out += "\n}\n";
   return out;
 }
@@ -120,6 +171,13 @@ std::string RunReport::chrome_trace() const {
 std::string RunReport::command_csv() const {
   return obs::paths_to_csv(critical_paths, protocol);
 }
+
+std::string RunReport::predict_csv() const {
+  static const std::vector<obs::DecisionRecord> kEmpty;
+  return obs::decisions_to_csv(predict != nullptr ? predict->records() : kEmpty, protocol);
+}
+
+std::string RunReport::calibration_csv() const { return obs::calibration_to_csv(calibration); }
 
 RunReport make_report(Protocol protocol, const Scenario& scenario, const RunResult& result) {
   RunReport r;
@@ -143,6 +201,8 @@ RunReport make_report(Protocol protocol, const Scenario& scenario, const RunResu
   r.spans = result.spans;
   r.critical_paths = result.critical_paths;
   r.trace_events_dropped = result.trace_events_dropped;
+  r.predict = result.predict;
+  r.calibration = result.calibration;
   return r;
 }
 

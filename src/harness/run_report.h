@@ -36,6 +36,10 @@ struct RunReport {
   std::shared_ptr<obs::SpanStore> spans;  // null unless Scenario::command_spans
   std::vector<obs::CommandPath> critical_paths;
   std::uint64_t trace_events_dropped = 0;
+  /// Decision-record audit; null unless Scenario::prediction_audit (the
+  /// "predict" JSON block and predict_csv() are omitted/empty then).
+  std::shared_ptr<obs::PredictionAudit> predict;
+  std::vector<obs::CalibrationRow> calibration;
 
   /// Render the whole report as a JSON document. The trace is included as
   /// text lines when `include_trace` is set (it can be large).
@@ -51,6 +55,13 @@ struct RunReport {
   /// Per-command critical-path CSV (obs::paths_to_csv with this report's
   /// protocol name).
   [[nodiscard]] std::string command_csv() const;
+
+  /// Per-command decision-record CSV (obs::decisions_to_csv). Header-only
+  /// when the prediction audit was disabled or recorded nothing.
+  [[nodiscard]] std::string predict_csv() const;
+
+  /// Per-(owner,target) estimator-calibration CSV (obs::calibration_to_csv).
+  [[nodiscard]] std::string calibration_csv() const;
 };
 
 /// Assemble a report from a finished run.

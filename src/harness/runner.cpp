@@ -76,7 +76,11 @@ struct Env {
       if (s.command_spans) {
         spans = std::make_shared<obs::SpanStore>(s.span_capacity, s.span_capacity);
       }
-      const obs::Sink sink{metrics.get(), trace.get(), spans.get()};
+      if (s.prediction_audit) {
+        predict = std::make_shared<obs::PredictionAudit>(s.predict_capacity);
+        predict->bind_metrics(metrics.get());
+      }
+      const obs::Sink sink{metrics.get(), trace.get(), spans.get(), predict.get()};
       simulator.bind_obs(sink);
       network.bind_obs(sink);  // nodes pick the sink up at construction
     }
@@ -153,6 +157,7 @@ struct Env {
     result.metrics = metrics;
     result.trace = trace;
     result.spans = spans;
+    result.predict = predict;
     if (trace != nullptr) {
       // Surface ring-buffer overwrite: dropped events must be visible, not
       // silent (satellite of the span work).
@@ -190,6 +195,7 @@ struct Env {
   std::shared_ptr<obs::MetricsRegistry> metrics;
   std::shared_ptr<obs::TraceRecorder> trace;
   std::shared_ptr<obs::SpanStore> spans;
+  std::shared_ptr<obs::PredictionAudit> predict;
   sim::Simulator simulator;
   net::Network network;
   Rng clock_rng;
@@ -399,6 +405,19 @@ RunResult run_domino_impl(const Scenario& s) {
   for (const auto& c : clients) {
     result.dfp_chosen += c->dfp_chosen();
     result.dm_chosen += c->dm_chosen();
+  }
+  if (s.prediction_audit && s.observability) {
+    // Estimator calibration: every prober's predicted-vs-realized score
+    // card, replicas first then clients, in construction order (each
+    // prober's targets are already in registered order) — deterministic.
+    for (const auto& r : replicas) {
+      const auto rows = obs::calibration_rows(r->prober().calibration());
+      result.calibration.insert(result.calibration.end(), rows.begin(), rows.end());
+    }
+    for (const auto& c : clients) {
+      const auto rows = obs::calibration_rows(c->prober().calibration());
+      result.calibration.insert(result.calibration.end(), rows.begin(), rows.end());
+    }
   }
   return result;
 }

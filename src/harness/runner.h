@@ -18,8 +18,10 @@
 #include "net/fault.h"
 #include "net/latency_model.h"
 #include "net/topology.h"
+#include "obs/calibration.h"
 #include "obs/causal.h"
 #include "obs/metrics.h"
+#include "obs/predict.h"
 #include "obs/trace.h"
 #include "statemachine/workload.h"
 
@@ -78,6 +80,15 @@ struct Scenario {
   bool command_spans = false;
   /// Span/edge store capacity; overflow drops records and counts them.
   std::size_t span_capacity = obs::SpanStore::kDefaultCapacity;
+  /// Prediction audit (obs/predict.h): the Domino client records what it
+  /// predicted at every choice point and reconciles it at commit into
+  /// per-command error, oracle regret and misprediction attribution;
+  /// probers additionally score their percentile predictions against every
+  /// realized probe arrival (RunResult::calibration). Opt-in; requires
+  /// `observability`. Wire format is untouched either way.
+  bool prediction_audit = false;
+  /// Decision-record store capacity; overflow is counted, never silent.
+  std::size_t predict_capacity = obs::PredictionAudit::kDefaultCapacity;
 
   // Robustness knobs (chaos runs).
   /// Timed fault events (crashes, partitions, degradations, route changes)
@@ -146,6 +157,12 @@ struct RunResult {
   /// critical_paths empty) unless Scenario::command_spans was set.
   std::shared_ptr<obs::SpanStore> spans;
   std::vector<obs::CommandPath> critical_paths;
+  /// Decision records + reconciliation aggregates; null unless
+  /// Scenario::prediction_audit was set (only Domino populates it).
+  std::shared_ptr<obs::PredictionAudit> predict;
+  /// Per-(owner,target) estimator-calibration rows, replicas first then
+  /// clients, each in construction order; empty unless prediction_audit.
+  std::vector<obs::CalibrationRow> calibration;
   /// Protocol events lost to trace-ring overwrite (satellite of the span
   /// work: overflow is counted, never silent).
   std::uint64_t trace_events_dropped = 0;

@@ -3,10 +3,24 @@
 namespace domino::measure {
 
 Prober::Prober(rpc::Node& owner, std::vector<NodeId> targets, ProberConfig config)
-    : owner_(owner), targets_(std::move(targets)), config_(config) {
-  for (NodeId t : targets_) state_.emplace(t, TargetState{config_.window});
+    : owner_(owner),
+      targets_(std::move(targets)),
+      config_(config),
+      calibration_(owner.id(), targets_) {
   obs_probes_sent_ = owner_.obs_sink().counter("measure.probes_sent");
   obs_probe_replies_ = owner_.obs_sink().counter("measure.probe_replies");
+  obs_calib_margin_ = owner_.obs_sink().histogram("calib.owd_margin_ns");
+  obs_calib_overshoot_ = owner_.obs_sink().histogram("calib.owd_overshoot_ns");
+  for (NodeId t : targets_) {
+    auto [it, inserted] = state_.emplace(t, TargetState{config_.window});
+    if (!inserted || t == owner_.id()) continue;
+    // Per-series coverage counters, named like the per-link net metrics.
+    const std::string series = owner_.id().to_string() + "->" + t.to_string();
+    it->second.obs_calib_samples =
+        owner_.obs_sink().counter("calib." + series + ".samples");
+    it->second.obs_calib_covered =
+        owner_.obs_sink().counter("calib." + series + ".covered");
+  }
 }
 
 void Prober::start() {
@@ -43,8 +57,23 @@ void Prober::on_probe_reply(NodeId from, const ProbeReply& reply) {
   if (it == state_.end()) return;
   TargetState& ts = it->second;
   const TimePoint local_now = owner_.local_now();
+  const Duration realized_owd = reply.replica_local_time - reply.echo_sender_local_time;
+  // Calibration: score the realized arrival offset against the percentile
+  // prediction the window held *before* this sample is folded in — exactly
+  // the prediction a DFP timestamp stamped "now" would have used.
+  if (const auto predicted = ts.owd.percentile(local_now, config_.percentile)) {
+    calibration_.record(from, *predicted, realized_owd);
+    const std::int64_t margin = (*predicted - realized_owd).nanos();
+    ts.obs_calib_samples.inc();
+    if (margin >= 0) {
+      ts.obs_calib_covered.inc();
+      obs_calib_margin_.record(margin);
+    } else {
+      obs_calib_overshoot_.record(-margin);
+    }
+  }
   ts.rtt.add(local_now, local_now - reply.echo_sender_local_time);
-  ts.owd.add(local_now, reply.replica_local_time - reply.echo_sender_local_time);
+  ts.owd.add(local_now, realized_owd);
   ts.replication_latency = reply.replication_latency;
   ts.last_reply_true_time = owner_.true_now();
   ts.ever_replied = true;

@@ -25,6 +25,7 @@
 #include "common/window_estimator.h"
 #include "measure/latency_view.h"
 #include "measure/messages.h"
+#include "obs/calibration.h"
 #include "rpc/node.h"
 
 namespace domino::measure {
@@ -88,6 +89,14 @@ class Prober final : public LatencyView {
   /// probe traffic growth).
   [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
 
+  /// Per-target estimator calibration: each probe reply's realized arrival
+  /// offset is checked against the percentile prediction the window held
+  /// just before the sample arrived. Coverage near the configured
+  /// percentile means the arrival predictor is honest; systematic
+  /// under-coverage on a target is the miscalibration the prediction audit
+  /// (obs/predict.h) blames for blown DFP deadlines.
+  [[nodiscard]] const obs::Calibration& calibration() const { return calibration_; }
+
  private:
   void send_probes();
 
@@ -97,14 +106,19 @@ class Prober final : public LatencyView {
     Duration replication_latency = Duration::zero();
     TimePoint last_reply_true_time = TimePoint::epoch();
     bool ever_replied = false;
+    obs::CounterHandle obs_calib_samples;
+    obs::CounterHandle obs_calib_covered;
     explicit TargetState(Duration window) : rtt(window), owd(window) {}
   };
 
   rpc::Node& owner_;
   std::vector<NodeId> targets_;
   ProberConfig config_;
+  obs::Calibration calibration_;
   obs::CounterHandle obs_probes_sent_;
   obs::CounterHandle obs_probe_replies_;
+  obs::HistogramHandle obs_calib_margin_;
+  obs::HistogramHandle obs_calib_overshoot_;
   std::unordered_map<NodeId, TargetState> state_;
   rpc::RepeatingTimer timer_;
   TimePoint started_;

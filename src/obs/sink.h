@@ -8,6 +8,7 @@
 #pragma once
 
 #include "obs/metrics.h"
+#include "obs/predict.h"
 #include "obs/span.h"
 #include "obs/trace.h"
 
@@ -19,9 +20,13 @@ struct Sink {
   /// Causal per-command span store (obs/span.h); null disables span
   /// collection and trace-context piggybacking on the wire.
   SpanStore* spans = nullptr;
+  /// Prediction audit (obs/predict.h); null disables decision-record
+  /// capture at the Domino client's choice point. Never touches the wire.
+  PredictionAudit* predict = nullptr;
 
   [[nodiscard]] bool active() const {
-    return metrics != nullptr || trace != nullptr || spans != nullptr;
+    return metrics != nullptr || trace != nullptr || spans != nullptr ||
+           predict != nullptr;
   }
   [[nodiscard]] bool tracing() const { return trace != nullptr; }
   [[nodiscard]] bool spans_enabled() const { return spans != nullptr; }

@@ -132,6 +132,9 @@ void ClientBase::on_request_timeout(const sm::Command& command, std::size_t /*at
   propose(command);
 }
 
+void ClientBase::on_committed(const RequestId& /*id*/, TimePoint /*sent_at*/,
+                              TimePoint /*committed_at*/) {}
+
 void ClientBase::handle_committed(const RequestId& id) {
   if (id.client != this->id()) return;
   if (!done_seqs_.insert(id.seq).second) return;  // duplicate notification
@@ -161,6 +164,7 @@ void ClientBase::handle_committed(const RequestId& id) {
   const TimePoint sent = it->second;
   sent_at_.erase(it);
   obs_commit_latency_.record(true_now() - sent);
+  on_committed(id, sent, true_now());
   if (obs_sink().tracing()) {
     obs_sink().record(obs::TraceEvent{.at = true_now(),
                                       .kind = obs::EventKind::kCommit,

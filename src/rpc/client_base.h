@@ -73,6 +73,13 @@ class ClientBase : public Node {
   /// Duplicate notifications are ignored.
   void handle_committed(const RequestId& id);
 
+  /// Called exactly once per request, when its first commit notification
+  /// lands and the send time is still known — the client-side point where
+  /// realized latency is exact. Protocol clients override it to reconcile
+  /// per-request predictions (the Domino client closes its DecisionRecord
+  /// here); the default does nothing.
+  virtual void on_committed(const RequestId& id, TimePoint sent_at, TimePoint committed_at);
+
  private:
   struct PendingRequest {
     sm::Command command;

@@ -1,0 +1,247 @@
+// Known-answer tests of the prediction audit (obs/predict.h): record
+// lifecycle, the exact error / oracle-regret identities, misprediction
+// attribution, and the decision CSV.
+#include "obs/predict.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace domino::obs {
+namespace {
+
+RequestId req(std::uint32_t client, std::uint64_t seq) {
+  return RequestId{NodeId{client}, seq};
+}
+
+DecisionRecord auto_decision(const RequestId& id, Duration dfp, Duration dm,
+                             NodeId dm_leader = NodeId{0}) {
+  DecisionRecord d;
+  d.request = id;
+  d.client = id.client;
+  d.decided_at = TimePoint::epoch() + milliseconds(5);
+  d.mode = DecisionMode::kAuto;
+  d.predicted_dfp = dfp;
+  d.predicted_dm = dm;
+  d.dm_leader = dm_leader;
+  return d;
+}
+
+TEST(PredictionAudit, ErrorAndRegretIdentityDfpChosen) {
+  PredictionAudit audit;
+  const RequestId id = req(1000, 1);
+  // DFP predicted cheaper: chosen path = DFP.
+  audit.open(auto_decision(id, milliseconds(80), milliseconds(120)));
+  audit.note_dfp(id, /*deadline_ts=*/90'000'000, TimePoint::epoch() + milliseconds(5),
+                 milliseconds(0), milliseconds(0), {NodeId{0}, NodeId{1}, NodeId{2}},
+                 {milliseconds(30), milliseconds(40), milliseconds(50)});
+  audit.note_outcome(id, DecisionOutcome::kFastPath);
+  const TimePoint committed = TimePoint::epoch() + milliseconds(105);
+  audit.reconcile(id, committed, milliseconds(100));
+
+  ASSERT_EQ(audit.reconciled(), 1u);
+  const DecisionRecord& r = audit.records().front();
+  EXPECT_EQ(r.outcome, DecisionOutcome::kFastPath);
+  EXPECT_EQ(r.chosen, DecisionPath::kDfp);
+  // error = realized - predicted(chosen) = 100ms - 80ms.
+  ASSERT_TRUE(r.error_valid);
+  EXPECT_EQ(r.error_ns, milliseconds(20).nanos());
+  // regret = realized - min(80, 120) = 20ms; the identity is exact.
+  ASSERT_TRUE(r.regret_valid);
+  EXPECT_EQ(r.hindsight_best_ns, milliseconds(80).nanos());
+  EXPECT_EQ(r.regret_ns, r.realized.nanos() - r.hindsight_best_ns);
+  EXPECT_EQ(r.regret_ns, milliseconds(20).nanos());
+  EXPECT_EQ(audit.regret_sum_ns(), milliseconds(20).nanos());
+  EXPECT_EQ(audit.regret_max_ns(), milliseconds(20).nanos());
+  EXPECT_EQ(audit.error_abs_sum_ns(), milliseconds(20).nanos());
+  EXPECT_EQ(audit.fast_path(), 1u);
+  EXPECT_EQ(audit.pending(), 0u);
+}
+
+TEST(PredictionAudit, RegretAgainstTheRoadNotTaken) {
+  PredictionAudit audit;
+  const RequestId id = req(1000, 2);
+  // DM predicted cheaper and chosen, but DFP's estimate was the hindsight
+  // winner once realized latency is known? No: hindsight best is the best
+  // *estimate*, min(90, 70) = 70 = DM. Realized 60ms < estimate: negative
+  // regret (the run beat its own predictions).
+  DecisionRecord d = auto_decision(id, milliseconds(90), milliseconds(70), NodeId{2});
+  d.chosen = DecisionPath::kDm;
+  audit.open(d);
+  audit.note_dm(id, NodeId{2}, /*unpredictable=*/false);
+  audit.note_outcome(id, DecisionOutcome::kDmCommit);
+  audit.reconcile(id, TimePoint::epoch() + milliseconds(65), milliseconds(60));
+
+  const DecisionRecord& r = audit.records().front();
+  EXPECT_EQ(r.chosen, DecisionPath::kDm);
+  EXPECT_EQ(r.dm_leader, NodeId{2});
+  ASSERT_TRUE(r.error_valid);
+  EXPECT_EQ(r.error_ns, -milliseconds(10).nanos());
+  ASSERT_TRUE(r.regret_valid);
+  EXPECT_EQ(r.regret_ns, -milliseconds(10).nanos());
+  EXPECT_EQ(r.regret_ns, r.realized.nanos() - r.hindsight_best_ns);
+  EXPECT_EQ(audit.dm_commits(), 1u);
+}
+
+TEST(PredictionAudit, UnknownEstimatesInvalidateErrorAndRegret) {
+  PredictionAudit audit;
+  const RequestId id = req(1000, 3);
+  DecisionRecord d = auto_decision(id, Duration::max(), Duration::max());
+  d.chosen = DecisionPath::kDm;
+  audit.open(d);
+  audit.note_dm(id, NodeId{0}, /*unpredictable=*/true);
+  audit.reconcile(id, TimePoint::epoch() + milliseconds(50), milliseconds(50));
+
+  const DecisionRecord& r = audit.records().front();
+  EXPECT_FALSE(r.error_valid);
+  EXPECT_FALSE(r.regret_valid);
+  EXPECT_TRUE(r.dfp_unpredictable);
+  EXPECT_EQ(audit.regret_samples(), 0u);
+  EXPECT_EQ(audit.error_samples(), 0u);
+  // No outcome notice arrived: the reconcile infers one from the path.
+  EXPECT_EQ(r.outcome, DecisionOutcome::kDmCommit);
+}
+
+TEST(PredictionAudit, AttributionBlamesWorstOvershootAmongRejectors) {
+  PredictionAudit audit;
+  const RequestId id = req(1001, 1);
+  audit.open(auto_decision(id, milliseconds(80), milliseconds(120)));
+  const TimePoint proposed = TimePoint::epoch() + milliseconds(10);
+  const std::int64_t ts = (proposed + milliseconds(50)).nanos();  // deadline
+  audit.note_dfp(id, ts, proposed, milliseconds(0), milliseconds(0),
+                 {NodeId{0}, NodeId{1}, NodeId{2}},
+                 {milliseconds(30), milliseconds(40), milliseconds(45)});
+  // n0 arrives within both prediction and deadline; n1 overshoots its
+  // prediction by 20ms and misses the deadline by 10ms; n2 overshoots by
+  // 25ms and misses by 20ms => n2 is blamed.
+  audit.note_arrival(id, NodeId{0}, ts, proposed + milliseconds(30), /*accepted=*/true);
+  audit.note_arrival(id, NodeId{1}, ts, proposed + milliseconds(60), /*accepted=*/false);
+  audit.note_arrival(id, NodeId{2}, ts, proposed + milliseconds(70), /*accepted=*/false);
+  audit.note_outcome(id, DecisionOutcome::kSlowPath);
+  audit.reconcile(id, TimePoint::epoch() + milliseconds(200), milliseconds(190));
+
+  const DecisionRecord& r = audit.records().front();
+  EXPECT_EQ(r.outcome, DecisionOutcome::kSlowPath);
+  ASSERT_EQ(r.arrivals.size(), 3u);
+  EXPECT_TRUE(r.arrivals[0].accepted);
+  EXPECT_EQ(r.arrivals[0].lateness, milliseconds(-20));
+  EXPECT_EQ(r.arrivals[1].lateness, milliseconds(10));
+  EXPECT_EQ(r.arrivals[2].lateness, milliseconds(20));
+  EXPECT_EQ(r.blamed, NodeId{2});
+  EXPECT_EQ(r.blamed_overshoot_ns, milliseconds(25).nanos());
+  EXPECT_EQ(audit.slow_path(), 1u);
+}
+
+TEST(PredictionAudit, NoBlameOnFastPathOrWithoutRejections) {
+  PredictionAudit audit;
+  const RequestId id = req(1001, 2);
+  audit.open(auto_decision(id, milliseconds(80), milliseconds(120)));
+  const TimePoint proposed = TimePoint::epoch() + milliseconds(10);
+  const std::int64_t ts = (proposed + milliseconds(50)).nanos();
+  audit.note_dfp(id, ts, proposed, milliseconds(0), milliseconds(0),
+                 {NodeId{0}, NodeId{1}}, {milliseconds(30), milliseconds(40)});
+  // Even an overshooting-but-accepted replica draws no blame.
+  audit.note_arrival(id, NodeId{0}, ts, proposed + milliseconds(45), true);
+  audit.note_arrival(id, NodeId{1}, ts, proposed + milliseconds(48), true);
+  audit.note_outcome(id, DecisionOutcome::kFastPath);
+  audit.reconcile(id, TimePoint::epoch() + milliseconds(100), milliseconds(90));
+  EXPECT_FALSE(audit.records().front().blamed.valid());
+}
+
+TEST(PredictionAudit, StaleAndDuplicateArrivalsIgnored) {
+  PredictionAudit audit;
+  const RequestId id = req(1002, 1);
+  audit.open(auto_decision(id, milliseconds(80), milliseconds(120)));
+  const TimePoint proposed = TimePoint::epoch() + milliseconds(10);
+  const std::int64_t ts = (proposed + milliseconds(50)).nanos();
+  audit.note_dfp(id, ts, proposed, milliseconds(0), milliseconds(0), {NodeId{0}},
+                 {milliseconds(30)});
+  // Notice for an older attempt (different ts): ignored.
+  audit.note_arrival(id, NodeId{0}, ts - 1, proposed + milliseconds(99), false);
+  audit.note_arrival(id, NodeId{0}, ts, proposed + milliseconds(31), true);
+  // Duplicate (retransmission): first one wins.
+  audit.note_arrival(id, NodeId{0}, ts, proposed + milliseconds(77), false);
+  audit.reconcile(id, TimePoint::epoch() + milliseconds(100), milliseconds(90));
+  const DecisionRecord& r = audit.records().front();
+  ASSERT_EQ(r.arrivals.size(), 1u);
+  EXPECT_TRUE(r.arrivals[0].heard);
+  EXPECT_TRUE(r.arrivals[0].accepted);
+  EXPECT_EQ(r.arrivals[0].realized_offset, milliseconds(31));
+}
+
+TEST(PredictionAudit, ExactlyOneRecordPerCommand) {
+  PredictionAudit audit;
+  const RequestId id = req(1003, 1);
+  audit.open(auto_decision(id, milliseconds(10), milliseconds(20)));
+  audit.open(auto_decision(id, milliseconds(99), milliseconds(99)));  // ignored
+  EXPECT_EQ(audit.decisions(), 1u);
+  audit.reconcile(id, TimePoint::epoch() + milliseconds(30), milliseconds(30));
+  audit.reconcile(id, TimePoint::epoch() + milliseconds(99), milliseconds(99));  // no-op
+  ASSERT_EQ(audit.reconciled(), 1u);
+  EXPECT_EQ(audit.records().front().realized, milliseconds(30));
+  // The first open's estimates survived.
+  EXPECT_EQ(audit.records().front().predicted_dfp, milliseconds(10));
+}
+
+TEST(PredictionAudit, CapacityOverflowIsCountedNotSilent) {
+  PredictionAudit audit(/*capacity=*/2);
+  audit.open(auto_decision(req(1004, 1), milliseconds(1), milliseconds(2)));
+  audit.open(auto_decision(req(1004, 2), milliseconds(1), milliseconds(2)));
+  audit.open(auto_decision(req(1004, 3), milliseconds(1), milliseconds(2)));
+  EXPECT_EQ(audit.decisions(), 2u);
+  EXPECT_EQ(audit.dropped(), 1u);
+}
+
+TEST(PredictionAudit, FailoverAndOverrideAggregates) {
+  MetricsRegistry registry;
+  PredictionAudit audit;
+  audit.bind_metrics(&registry);
+  const RequestId id = req(1005, 1);
+  DecisionRecord d = auto_decision(id, milliseconds(40), milliseconds(90));
+  d.adaptive_override = true;
+  audit.open(d);
+  audit.note_failover(id);
+  audit.note_dm(id, NodeId{1}, /*unpredictable=*/false);
+  audit.note_outcome(id, DecisionOutcome::kDmCommit);
+  audit.reconcile(id, TimePoint::epoch() + milliseconds(300), milliseconds(295));
+  EXPECT_EQ(audit.failovers(), 1u);
+  EXPECT_EQ(audit.adaptive_overrides(), 1u);
+  EXPECT_TRUE(audit.records().front().failover);
+  EXPECT_EQ(registry.counter("predict.decisions").value(), 1u);
+  EXPECT_EQ(registry.counter("predict.reconciled").value(), 1u);
+  EXPECT_EQ(registry.counter("predict.failovers").value(), 1u);
+  EXPECT_EQ(registry.counter("predict.adaptive_overrides").value(), 1u);
+  // regret = 295 - 40 = 255ms, over the estimate: lands in regret_over_ns.
+  EXPECT_EQ(registry.histogram("predict.regret_over_ns").count(), 1u);
+  EXPECT_EQ(registry.histogram("predict.regret_over_ns").max(), milliseconds(255).nanos());
+}
+
+TEST(PredictionAudit, AbandonedCommandStaysPending) {
+  PredictionAudit audit;
+  audit.open(auto_decision(req(1006, 1), milliseconds(1), milliseconds(2)));
+  EXPECT_EQ(audit.pending(), 1u);
+  EXPECT_EQ(audit.reconciled(), 0u);
+}
+
+TEST(PredictionAudit, CsvIsStableAndEncodesUnknownsAsMinusOne) {
+  PredictionAudit audit;
+  const RequestId id = req(1007, 1);
+  DecisionRecord d = auto_decision(id, milliseconds(80), Duration::max(), NodeId::invalid());
+  audit.open(d);
+  audit.note_dfp(id, 90'000'000, TimePoint::epoch() + milliseconds(5), milliseconds(2),
+                 milliseconds(1), {NodeId{0}}, {milliseconds(30)});
+  audit.note_outcome(id, DecisionOutcome::kFastPath);
+  audit.reconcile(id, TimePoint::epoch() + milliseconds(100), milliseconds(95));
+
+  const std::string csv = decisions_to_csv(audit.records(), "Domino");
+  // One header plus one row.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+  EXPECT_NE(csv.find("protocol,request,mode,chosen,outcome"), std::string::npos);
+  EXPECT_NE(csv.find("Domino,n1007#1,auto,dfp,fast_path"), std::string::npos);
+  // Unknown DM estimate exports as -1, invalid leader as '-'.
+  EXPECT_NE(csv.find(",-1,-,"), std::string::npos);
+  EXPECT_EQ(csv, decisions_to_csv(audit.records(), "Domino"));  // deterministic
+}
+
+}  // namespace
+}  // namespace domino::obs
