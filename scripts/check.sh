@@ -7,6 +7,7 @@
 #   scripts/check.sh --chaos      # chaos suite only (ctest -L chaos), sanitized
 #   scripts/check.sh --trace      # tracing suite only (ctest -L trace), sanitized
 #   scripts/check.sh --predict    # prediction-audit suite (ctest -L predict), sanitized
+#   scripts/check.sh --recovery   # crash-recovery suite (ctest -L recovery), sanitized
 #   scripts/check.sh --all        # plain full suite, then every sanitized gate
 #
 # The build directory is build/ (or build-asan/ for sanitized modes) under
@@ -20,6 +21,11 @@
 #   --predict prediction audit: decision-record reconciliation, calibration
 #             and the exact oracle-regret identity; smoke-runs
 #             scripts/predict_summary.py on the suite's sample CSVs.
+#   --recovery amnesia-aware crash recovery: durable replay, peer catch-up,
+#             and the weakened-persistence negative test; ASan+UBSan flags
+#             use-after-free in restart/replay paths.  Smoke-runs
+#             scripts/trace_summary.py on the suite's Chrome-trace sample
+#             (per-node recovery intervals).
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -32,10 +38,11 @@ declare -A modes=(
   [--chaos]="build-asan:1:chaos:"
   [--trace]="build-asan:1:trace:trace"
   [--predict]="build-asan:1:predict:predict"
+  [--recovery]="build-asan:1:recovery:recovery"
 )
 
 usage() {
-  sed -n '2,22p' "$0" | sed 's/^# \{0,1\}//'
+  sed -n '2,26p' "$0" | sed 's/^# \{0,1\}//'
   exit 2
 }
 
@@ -61,6 +68,10 @@ run_smoke() {
     predict)
       smoke_csv "$root/scripts/predict_summary.py" \
         "$build_dir/tests/predict_sample.csv" "$build_dir/tests/calibration_sample.csv"
+      ;;
+    recovery)
+      smoke_csv "$root/scripts/trace_summary.py" \
+        "$build_dir/tests/recovery_trace_sample.json"
       ;;
   esac
 }
@@ -88,9 +99,9 @@ case "${1:-}" in
   --all)
     shift
     # Full plain suite first, then every sanitized gate (one build-asan
-    # configure+build serves all three labelled suites).
+    # configure+build serves all four labelled suites).
     run_mode --default "$@"
-    for gate in --chaos --trace --predict; do run_mode "$gate" "$@"; done
+    for gate in --chaos --trace --predict --recovery; do run_mode "$gate" "$@"; done
     exit 0
     ;;
   --*)

@@ -19,13 +19,20 @@ one-line digest (file, protocol, commands, mean latency, dominant phase)
 instead of the full table — handy for a results/ directory of sweeps.
 Explicitly named files keep the full per-phase table.
 
+*.json arguments are treated as Chrome-trace exports (RunReport::
+chrome_trace / obs::chrome_trace_json): the script prints a recovery
+summary instead — per node, crash/recover fault instants and every
+amnesiac-recovery interval (the "recovery" complete slices emitted at
+rejoin), with downtime and catch-up durations.
+
 Stdlib only; no third-party dependencies.
 
 Usage:
-  python3 scripts/trace_summary.py <csv-or-dir> [<csv-or-dir> ...]
+  python3 scripts/trace_summary.py <csv-json-or-dir> [<more> ...]
 """
 
 import csv
+import json
 import os
 import sys
 from collections import defaultdict
@@ -62,6 +69,50 @@ def print_table(proto, phase_map, n_commands):
     print(f"  {'(sum)':<24} {'':>6} {total_ns / 1e6:>10.3f} {'':>9} {100.0:>6.1f}%")
 
 
+def recovery_summary(path):
+    """Per-node crash/recovery report from a Chrome-trace JSON export.
+
+    Recovery intervals are the cat=="recovery" complete ("X") slices the
+    exporter writes at rejoin time; crash/recover instants are the
+    cat=="fault" node-scoped events.  Timestamps in the file are in
+    microseconds of virtual time.
+    """
+    with open(path) as fh:
+        doc = json.load(fh)
+    events = doc.get("traceEvents", [])
+    crashes = defaultdict(int)
+    recovers = defaultdict(int)
+    intervals = defaultdict(list)  # node -> [(start_us, dur_us)]
+    for e in events:
+        node = e.get("tid", 0)
+        if e.get("cat") == "recovery" and e.get("ph") == "X":
+            intervals[node].append((e["ts"], e["dur"]))
+        elif e.get("cat") == "fault":
+            if e.get("name") == "node_crash":
+                crashes[node] += 1
+            elif e.get("name") == "node_recover":
+                recovers[node] += 1
+
+    nodes = sorted(set(crashes) | set(recovers) | set(intervals))
+    if not nodes:
+        print(f"{path}: no crash/recovery events")
+        return
+    n_intervals = sum(len(v) for v in intervals.values())
+    total_ms = sum(dur for v in intervals.values() for _, dur in v) / 1e3
+    print(f"{path}: {sum(crashes.values())} crashes, "
+          f"{sum(recovers.values())} recoveries, "
+          f"{n_intervals} amnesiac rejoins, "
+          f"{total_ms:.3f} ms total catch-up time")
+    header = f"  {'node':>6} {'crashes':>8} {'recovers':>9} {'rejoins':>8} {'catch-up intervals (ms)':<40}"
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for node in nodes:
+        spans = ", ".join(f"[{ts / 1e3:.1f} +{dur / 1e3:.1f}]"
+                          for ts, dur in sorted(intervals.get(node, [])))
+        print(f"  {node:>6} {crashes.get(node, 0):>8} {recovers.get(node, 0):>9} "
+              f"{len(intervals.get(node, [])):>8} {spans:<40}")
+
+
 def is_trace_csv(path):
     """Directories hold mixed exports; only digest critical-path CSVs."""
     with open(path, newline="") as fh:
@@ -94,17 +145,25 @@ def main(argv):
         return 2
     files = []
     digests = []
+    traces = []
     for arg in argv[1:]:
         if os.path.isdir(arg):
             digests.extend(os.path.join(arg, name)
                            for name in sorted(os.listdir(arg))
                            if name.endswith(".csv"))
+            traces.extend(os.path.join(arg, name)
+                          for name in sorted(os.listdir(arg))
+                          if name.endswith(".json"))
+        elif arg.endswith(".json"):
+            traces.append(arg)
         else:
             files.append(arg)
     for path in digests:
         print_digest(path)
+    for path in traces:
+        recovery_summary(path)
     if not files:
-        return 0 if digests else 1
+        return 0 if digests or traces else 1
     phases, commands = load(files)
     if not phases:
         print("no critical-path rows found", file=sys.stderr)

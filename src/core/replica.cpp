@@ -2,8 +2,46 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "recovery/messages.h"
 
 namespace domino::core {
+
+namespace {
+/// Catch-up request retransmit interval for a recovering replica.
+constexpr Duration kCatchupRetryInterval = milliseconds(100);
+
+/// Durable record for an acceptance at (ts, lane). `dm_leader` marks the
+/// record as written by the lane's own leader (it doubles as the timestamp
+/// reservation: replay raises dm_last_assigned_ past it, so no separate
+/// kReservation record is needed).
+wire::Payload accepted_record(std::int64_t ts, std::uint32_t lane, const sm::Command& command,
+                              bool dm_leader, bool reply_via_dfp) {
+  wire::ByteWriter w;
+  w.svarint(ts);
+  w.varint(lane);
+  command.encode(w);
+  w.boolean(dm_leader);
+  w.boolean(reply_via_dfp);
+  return w.take();
+}
+
+/// Durable record for a resolution at (ts, lane). The command may be
+/// omitted when a preceding kAccepted record of the same position is
+/// guaranteed to supply it (the lane leader's own commits).
+wire::Payload committed_record(std::int64_t ts, std::uint32_t lane, bool is_noop,
+                               const sm::Command* command) {
+  wire::ByteWriter w;
+  w.svarint(ts);
+  w.varint(lane);
+  w.boolean(is_noop);
+  w.boolean(command != nullptr);
+  if (command != nullptr) command->encode(w);
+  return w.take();
+}
+}  // namespace
 
 Replica::Replica(NodeId id, std::size_t dc, net::Network& network,
                  std::vector<NodeId> replicas, NodeId coordinator, ReplicaConfig config,
@@ -120,6 +158,12 @@ void Replica::on_packet(const net::Packet& packet) {
     case wire::MessageType::kDfpRangeResolve:
       apply_dfp_range_resolve(wire::decode_message<DfpRangeResolve>(packet.payload));
       break;
+    case wire::MessageType::kCatchupRequest:
+      handle_catchup_request(packet.src, packet.payload);
+      break;
+    case wire::MessageType::kCatchupReply:
+      handle_catchup_reply(packet.payload);
+      break;
     default:
       break;
   }
@@ -129,6 +173,12 @@ void Replica::handle_probe(const net::Packet& packet) {
   const auto probe = wire::decode_message<measure::Probe>(packet.payload);
   send(packet.src,
        measure::Prober::make_reply(probe, local_now(), replication_latency_estimate()));
+}
+
+void Replica::enable_durability(recovery::DurableStore& store) {
+  persistor_.bind(store, id(), [this](Duration delay, std::function<void()> fn) {
+    after(delay, std::move(fn));
+  });
 }
 
 // ------------------------------------------------------------ DFP acceptor
@@ -143,41 +193,73 @@ void Replica::handle_dfp_propose(const net::Packet& packet) {
   // Section 3's "equal to or smaller than the predicted timestamp"), the
   // position is not already resolved (committed frontier), and no different
   // command occupies it (client timestamp collision).
-  bool accept = local_now().nanos() <= msg.ts && !log_.is_resolved(pos);
+  bool accept = !catching_up_ && local_now().nanos() <= msg.ts && !log_.is_resolved(pos);
   if (accept) {
     const auto* existing = log_.entry(pos);
     if (existing != nullptr && existing->command.id != msg.command.id) accept = false;
   }
-  if (accept) log_.accept(pos, msg.command);
+  if (accept) {
+    log_.accept(pos, msg.command);
+    // Hold the advertised watermark at ts until the notice leaves (below).
+    watermark_holds_.insert(msg.ts);
+  }
 
   DfpAcceptNotice notice;
   notice.ts = msg.ts;
   notice.accepted = accept;
   notice.command = msg.command;
-  notice.sender_local_time = local_now();
-  if (config_.all_replicas_learn) {
-    // Section 5.7: every replica is a learner, so acceptances broadcast.
-    for (NodeId r : replicas_) {
-      if (r != id()) send(r, notice);
+  notice.sender_local_time = advertised_watermark();
+  const auto externalize = [this, notice, accept, ts = msg.ts,
+                            client = msg.command.id.client] {
+    if (accept) release_watermark_hold(ts);
+    if (config_.all_replicas_learn) {
+      // Section 5.7: every replica is a learner, so acceptances broadcast.
+      for (NodeId r : replicas_) {
+        if (r != id()) send(r, notice);
+      }
+    } else if (!is_coordinator()) {
+      send(coordinator_, notice);
     }
-  } else if (!is_coordinator()) {
-    send(coordinator_, notice);
+    note_replica_watermark(rank_, notice.sender_local_time);
+    process_dfp_notice(notice);
+    send(client, notice);
+  };
+  if (accept) {
+    // An acceptance counts toward the client-observed fast quorum, so it
+    // must be durable before any notice leaves. A rejection needs no
+    // record: the promise it makes — "my clock passed ts" — is re-honored
+    // automatically after an amnesiac restart, because the local clock is
+    // monotonic across crashes and this replica can never accept at ts
+    // again.
+    persistor_.persist(
+        recovery::RecordTag::kAccepted,
+        [&] { return accepted_record(msg.ts, dfp_lane(), msg.command, false, false); },
+        externalize);
+  } else {
+    externalize();
   }
-  note_replica_watermark(rank_, notice.sender_local_time);
-  process_dfp_notice(notice);
-  send(msg.command.id.client, notice);
 }
 
 void Replica::handle_dfp_commit(const wire::Payload& payload) {
   const auto msg = wire::decode_message<DfpCommit>(payload);
   const log::LogPosition pos{msg.ts, dfp_lane()};
   if (msg.is_noop) {
+    // Resolve only this position. Advancing the lane watermark to ts + 1
+    // would blanket-noop every empty position below it, and positions
+    // resolve out of order (independent recovery rounds): an earlier
+    // position this replica rejected — empty here, but committed with a
+    // command elsewhere — would be silently swallowed before its
+    // DfpCommit arrives.
     log_.resolve_as_noop(pos);
-    log_.advance_watermark(dfp_lane(), msg.ts + 1);
   } else {
     log_.commit(pos, msg.command);
     dfp_committed_.insert(msg.command.id);
   }
+  // Nothing is externalized on this learner path; fire-and-forget.
+  persistor_.persist(recovery::RecordTag::kCommitted, [&] {
+    return committed_record(msg.ts, dfp_lane(), msg.is_noop,
+                            msg.is_noop ? nullptr : &msg.command);
+  });
   // Settle any learner-side tally for this position.
   auto it = dfp_positions_.find(msg.ts);
   if (it != dfp_positions_.end()) {
@@ -247,6 +329,22 @@ void Replica::process_dfp_notice(const DfpAcceptNotice& msg) {
   coordinator_check(msg.ts);
 }
 
+TimePoint Replica::advertised_watermark() const {
+  TimePoint adv = local_now();
+  if (!watermark_holds_.empty()) {
+    // A watermark of V covers positions strictly below V, so advertising
+    // exactly the oldest held timestamp keeps that position open.
+    const TimePoint held = TimePoint::epoch() + nanoseconds(*watermark_holds_.begin());
+    if (held < adv) adv = held;
+  }
+  return adv;
+}
+
+void Replica::release_watermark_hold(std::int64_t ts) {
+  const auto it = watermark_holds_.find(ts);
+  if (it != watermark_holds_.end()) watermark_holds_.erase(it);
+}
+
 void Replica::note_replica_watermark(std::size_t rank, TimePoint watermark) {
   if (rank >= replica_watermarks_.size()) return;
   replica_watermarks_[rank] = std::max(replica_watermarks_[rank], watermark);
@@ -273,6 +371,9 @@ void Replica::coordinator_check(std::int64_t ts) {
         pos.winner = t.command.id;
         dfp_committed_.insert(t.command.id);
         log_.commit(log::LogPosition{ts, dfp_lane()}, t.command);
+        persistor_.persist(recovery::RecordTag::kCommitted, [&] {
+          return committed_record(ts, dfp_lane(), false, &t.command);
+        });
         execute_ready();
       }
       return;
@@ -333,7 +434,12 @@ void Replica::start_dfp_recovery(std::int64_t ts) {
   // Self-accept at ballot 1.
   if (!choice.is_noop) {
     const log::LogPosition lp{ts, dfp_lane()};
-    if (!log_.is_resolved(lp)) log_.accept(lp, choice.command);
+    if (!log_.is_resolved(lp)) {
+      log_.accept(lp, choice.command);
+      persistor_.persist(recovery::RecordTag::kAccepted, [&] {
+        return accepted_record(ts, dfp_lane(), choice.command, false, false);
+      });
+    }
   }
   DfpRecoveryAccept msg{ts, choice.is_noop, choice.command};
   for (NodeId r : replicas_) {
@@ -376,29 +482,43 @@ void Replica::resolve_dfp(std::int64_t ts, bool is_noop, const sm::Command& comm
                                         .request = command.id,
                                         .value = ts});
     }
-    DfpCommit msg{ts, false, command};
-    for (NodeId r : replicas_) {
-      if (r != id()) send(r, msg);
-    }
-    if (!was_fast) send(command.id.client, DfpClientReply{command.id});
   } else {
     ++dfp_noop_resolutions_;
     obs_dfp_noops_.inc();
+    // Single-position resolution; see handle_dfp_commit for why the lane
+    // watermark must not jump to ts + 1 here.
     log_.resolve_as_noop(lp);
-    log_.advance_watermark(dfp_lane(), ts + 1);
-    DfpCommit msg{ts, true, {}};
-    for (NodeId r : replicas_) {
-      if (r != id()) send(r, msg);
-    }
   }
-  // Every command that lost this position continues through DM
-  // (Section 5.3.3: "The DFP coordinator will propose the other request
-  // through Domino's Mencius").
+  // Losers captured by value: the tally may be garbage-collected while the
+  // commit record syncs.
+  std::vector<sm::Command> losers;
   for (const CommandTally& t : pos.tallies) {
     if (pos.winner && *pos.winner == t.command.id) continue;
-    reroute_via_dm(t.command);
+    losers.push_back(t.command);
   }
-  execute_ready();
+  // Resolving makes the local commit frontier eligible to pass ts. Hold the
+  // advertised frontier below it until the DfpCommit leaves: a heartbeat
+  // overtaking the delayed broadcast would carry a frontier that lets a
+  // rejecting replica (whose position is empty) no-op a committed command.
+  if (!is_noop) watermark_holds_.insert(ts);
+  // The DfpCommit broadcast and the client reply externalize the decision;
+  // they wait for the commit record to be durable.
+  persistor_.persist(
+      recovery::RecordTag::kCommitted,
+      [&] { return committed_record(ts, dfp_lane(), is_noop, is_noop ? nullptr : &command); },
+      [this, ts, is_noop, command, was_fast, losers = std::move(losers)] {
+        if (!is_noop) release_watermark_hold(ts);
+        DfpCommit msg{ts, is_noop, is_noop ? sm::Command{} : command};
+        for (NodeId r : replicas_) {
+          if (r != id()) send(r, msg);
+        }
+        if (!is_noop && !was_fast) send(command.id.client, DfpClientReply{command.id});
+        // Every command that lost this position continues through DM
+        // (Section 5.3.3: "The DFP coordinator will propose the other
+        // request through Domino's Mencius").
+        for (const sm::Command& loser : losers) reroute_via_dm(loser);
+        execute_ready();
+      });
 }
 
 void Replica::reroute_via_dm(const sm::Command& command) {
@@ -421,7 +541,7 @@ std::int64_t Replica::computed_commit_frontier() const {
   std::vector<Duration> wms;
   wms.reserve(replicas_.size());
   for (std::size_t r = 0; r < replicas_.size(); ++r) {
-    const TimePoint wm = r == rank_ ? local_now() : replica_watermarks_[r];
+    const TimePoint wm = r == rank_ ? advertised_watermark() : replica_watermarks_[r];
     wms.push_back(wm - TimePoint::epoch());
   }
   const std::size_t rank_needed =
@@ -436,12 +556,19 @@ std::int64_t Replica::computed_commit_frontier() const {
     }
     if (ts >= frontier) break;
   }
+  // Nor past a resolution whose externalizing broadcast is still waiting on
+  // the durable sync (see resolve_dfp): a watermark of exactly the held
+  // timestamp keeps that position open at every learner.
+  if (!watermark_holds_.empty()) {
+    frontier = std::min(frontier, *watermark_holds_.begin());
+  }
   return std::max(frontier, commit_frontier_);
 }
 
 // --------------------------------------------------------------------- DM
 
 void Replica::handle_dm_propose(const net::Packet& packet) {
+  if (catching_up_) return;  // not rejoined yet; the client's retry will land
   const auto msg = wire::decode_message<DmPropose>(packet.payload);
   dm_lead(msg.command, /*reply_via_dfp=*/false);
 }
@@ -457,23 +584,49 @@ void Replica::dm_lead(const sm::Command& command, bool reply_via_dfp) {
 
   const log::LogPosition pos{ts, static_cast<std::uint32_t>(rank_)};
   log_.accept(pos, command);
+  watermark_holds_.insert(ts);  // released once the DmAccepts leave
   dm_pending_.emplace(ts, DmPending{1, command.id, reply_via_dfp});
   if (const obs::SpanId s = open_wait_span("dm_quorum_wait"); s != 0) {
     dm_quorum_spans_[ts] = s;
   }
 
-  DmAccept msg{ts, static_cast<std::uint32_t>(rank_), command};
-  for (NodeId r : replicas_) {
-    if (r != id()) send(r, msg);
-  }
-  maybe_commit_dm(ts);  // single-replica deployments commit immediately
+  // The accept record doubles as the timestamp reservation: replay raises
+  // dm_last_assigned_ past it, so a restarted leader can never re-assign a
+  // position it already promised away.
+  persistor_.persist(
+      recovery::RecordTag::kAccepted,
+      [&] {
+        return accepted_record(ts, static_cast<std::uint32_t>(rank_), command,
+                               /*dm_leader=*/true, reply_via_dfp);
+      },
+      [this, ts, command] {
+        release_watermark_hold(ts);
+        DmAccept msg{ts, static_cast<std::uint32_t>(rank_), command};
+        for (NodeId r : replicas_) {
+          if (r != id()) send(r, msg);
+        }
+        maybe_commit_dm(ts);  // single-replica deployments commit immediately
+      });
 }
 
 void Replica::handle_dm_accept(NodeId from, const wire::Payload& payload) {
   const auto msg = wire::decode_message<DmAccept>(payload);
   if (msg.lane >= replicas_.size()) return;
-  log_.accept(log::LogPosition{msg.ts, msg.lane}, msg.command);
-  send(from, DmAcceptReply{msg.ts, msg.lane});
+  const log::LogPosition pos{msg.ts, msg.lane};
+  if (log_.is_resolved(pos) && !log_.is_committed(pos)) {
+    // The position resolved as a no-op here (reachable only when a
+    // restarted leader re-replicates an entry whose position was revoked
+    // in the meantime); acking would let the leader commit a position this
+    // replica will never execute.
+    return;
+  }
+  log_.accept(pos, msg.command);
+  // The ack counts toward the leader's majority, so the acceptance must be
+  // durable before it leaves.
+  persistor_.persist(
+      recovery::RecordTag::kAccepted,
+      [&] { return accepted_record(msg.ts, msg.lane, msg.command, false, false); },
+      [this, from, ts = msg.ts, lane = msg.lane] { send(from, DmAcceptReply{ts, lane}); });
 }
 
 void Replica::handle_dm_accept_reply(const wire::Payload& payload) {
@@ -500,16 +653,24 @@ void Replica::maybe_commit_dm(std::int64_t ts) {
   log_.commit(log::LogPosition{ts, static_cast<std::uint32_t>(rank_)});
   ++dm_commits_;
   obs_dm_commits_.inc();
-  DmCommit msg{ts, static_cast<std::uint32_t>(rank_)};
-  for (NodeId r : replicas_) {
-    if (r != id()) send(r, msg);
-  }
-  if (pending.reply_via_dfp) {
-    send(pending.request.client, DfpClientReply{pending.request});
-  } else {
-    send(pending.request.client, DmClientReply{pending.request});
-  }
-  execute_ready();
+  // The client reply externalizes the commit; it waits for the decision to
+  // be durable. The record carries no command — the leader's own kAccepted
+  // record for this position always precedes it in the durable log.
+  persistor_.persist(
+      recovery::RecordTag::kCommitted,
+      [&] { return committed_record(ts, static_cast<std::uint32_t>(rank_), false, nullptr); },
+      [this, ts, pending] {
+        DmCommit msg{ts, static_cast<std::uint32_t>(rank_)};
+        for (NodeId r : replicas_) {
+          if (r != id()) send(r, msg);
+        }
+        if (pending.reply_via_dfp) {
+          send(pending.request.client, DfpClientReply{pending.request});
+        } else {
+          send(pending.request.client, DmClientReply{pending.request});
+        }
+        execute_ready();
+      });
 }
 
 void Replica::handle_dm_commit(const wire::Payload& payload) {
@@ -525,6 +686,12 @@ void Replica::handle_dm_commit(const wire::Payload& payload) {
     return;
   }
   log_.commit(pos);
+  // Nothing is externalized on this follower path; fire-and-forget. The
+  // command rides in the record so replay does not depend on a local
+  // kAccepted record (the entry may have arrived via catch-up instead).
+  persistor_.persist(recovery::RecordTag::kCommitted, [&] {
+    return committed_record(msg.ts, msg.lane, false, &log_.entry(pos)->command);
+  });
   execute_ready();
 }
 
@@ -575,7 +742,7 @@ void Replica::maybe_run_failure_recovery() {
   if (any_failed && is_coordinator() && !dfp_range_round_.active &&
       true_now() >= next_dfp_range_at_) {
     next_dfp_range_at_ = true_now() + kRecoveryRoundInterval;
-    start_dfp_range_recover();
+    start_dfp_range_recover(commit_frontier_);
   }
 }
 
@@ -668,20 +835,28 @@ void Replica::apply_dm_revoke_result(const DmRevokeResult& result) {
     const bool listed =
         std::any_of(result.entries.begin(), result.entries.end(),
                     [&](const RangeEntryWire& w) { return w.ts == e.ts; });
-    if (!listed) log_.resolve_as_noop(log::LogPosition{e.ts, result.lane});
+    if (!listed) {
+      log_.resolve_as_noop(log::LogPosition{e.ts, result.lane});
+      persistor_.persist(recovery::RecordTag::kCommitted, [&] {
+        return committed_record(e.ts, result.lane, true, nullptr);
+      });
+    }
   }
   for (const auto& e : result.entries) {
     log_.commit(log::LogPosition{e.ts, result.lane}, e.command);
+    persistor_.persist(recovery::RecordTag::kCommitted, [&] {
+      return committed_record(e.ts, result.lane, false, &e.command);
+    });
   }
   log_.advance_watermark(result.lane, result.through_ts);
   execute_ready();
 }
 
-void Replica::start_dfp_range_recover() {
+void Replica::start_dfp_range_recover(std::int64_t from_ts) {
   RecoveryRound& round = dfp_range_round_;
   round = RecoveryRound{};
   round.active = true;
-  round.from = commit_frontier_;
+  round.from = from_ts;
   // Recover up to the slowest live watermark (live replicas have no-op'd
   // everything below their clocks; the dead one cannot object at ballot 1).
   Duration to = local_now() - TimePoint::epoch();
@@ -777,13 +952,280 @@ void Replica::apply_dfp_range_resolve(const DfpRangeResolve& resolve) {
     const bool listed =
         std::any_of(resolve.entries.begin(), resolve.entries.end(),
                     [&](const RangeEntryWire& w) { return w.ts == e.ts; });
-    if (!listed) log_.resolve_as_noop(log::LogPosition{e.ts, dfp_lane()});
+    if (!listed) {
+      log_.resolve_as_noop(log::LogPosition{e.ts, dfp_lane()});
+      persistor_.persist(recovery::RecordTag::kCommitted, [&] {
+        return committed_record(e.ts, dfp_lane(), true, nullptr);
+      });
+    }
   }
   for (const auto& e : resolve.entries) {
     log_.commit(log::LogPosition{e.ts, dfp_lane()}, e.command);
+    persistor_.persist(recovery::RecordTag::kCommitted, [&] {
+      return committed_record(e.ts, dfp_lane(), false, &e.command);
+    });
   }
   log_.advance_watermark(dfp_lane(), resolve.through_ts);
   execute_ready();
+}
+
+// ---------------------------------------------------------- crash recovery
+
+void Replica::restart() {
+  persistor_.begin_restart();
+  for (auto& [ts, span] : dm_quorum_spans_) {
+    (void)ts;
+    close_wait_span(span);
+  }
+  dm_quorum_spans_.clear();
+  for (auto& [ts, span] : dfp_recovery_spans_) {
+    (void)ts;
+    close_wait_span(span);
+  }
+  dfp_recovery_spans_.clear();
+  log_ = log::GlobalLog(replicas_.size() + 1);
+  store_ = sm::KvStore{};
+  dfp_positions_.clear();
+  std::fill(replica_watermarks_.begin(), replica_watermarks_.end(), TimePoint::epoch());
+  commit_frontier_ = 0;
+  dfp_committed_.clear();
+  dm_pending_.clear();
+  // Pending syncs died with the crash (their continuations are epoch
+  // guarded), so the matching releases will never run.
+  watermark_holds_.clear();
+  dm_last_assigned_ = 0;
+  rerouted_.clear();
+  dm_revokes_.clear();
+  dm_revoked_through_.clear();
+  next_dm_revoke_at_.clear();
+  dfp_range_round_ = RecoveryRound{};
+  next_dfp_range_at_ = TimePoint::epoch();
+  dfp_fast_commits_ = 0;
+  dfp_slow_commits_ = 0;
+  dfp_noop_resolutions_ = 0;
+  dm_commits_ = 0;
+  catching_up_ = true;
+  recovery_started_at_ = true_now();
+  if (obs_sink().tracing()) {
+    obs_sink().record(obs::TraceEvent{
+        .at = true_now(),
+        .kind = obs::EventKind::kRecoveryStart,
+        .node = id(),
+        .value = static_cast<std::int64_t>(persistor_.epoch())});
+  }
+
+  persistor_.replay([this](const recovery::DurableRecord& rec) {
+    wire::ByteReader r(rec.body);
+    const std::int64_t ts = r.svarint();
+    const auto lane = static_cast<std::uint32_t>(r.varint());
+    if (lane >= log_.lane_count()) return;
+    const log::LogPosition pos{ts, lane};
+    switch (rec.tag) {
+      case recovery::RecordTag::kAccepted: {
+        sm::Command cmd = sm::Command::decode(r);
+        const bool dm_leader = r.boolean();
+        const bool reply_via_dfp = r.boolean();
+        if (dm_leader && lane == rank_) {
+          // Reservation: never assign at or below a promised timestamp
+          // again, even though the ack counts died with the crash.
+          dm_last_assigned_ = std::max(dm_last_assigned_, ts);
+          dm_pending_.emplace(ts, DmPending{1, cmd.id, reply_via_dfp});
+        }
+        // A later kCommitted/no-op record of the same position wins; the
+        // log ignores a (same-command) re-accept of a resolved entry.
+        log_.accept(pos, std::move(cmd));
+        break;
+      }
+      case recovery::RecordTag::kCommitted: {
+        const bool is_noop = r.boolean();
+        const bool has_cmd = r.boolean();
+        if (is_noop) {
+          if (!log_.is_committed(pos)) log_.resolve_as_noop(pos);
+          log_.advance_watermark(lane, ts + 1);
+          if (lane == dfp_lane()) dfp_positions_[ts].resolved = true;
+          break;
+        }
+        sm::Command cmd;
+        if (has_cmd) cmd = sm::Command::decode(r);
+        const auto* e = log_.entry(pos);
+        if (e != nullptr && e->status == log::GlobalLog::Status::kAbortedNoop) break;
+        if (!has_cmd && e == nullptr) break;  // no accept record either; catch-up covers it
+        const RequestId rid = has_cmd ? cmd.id : e->command.id;
+        log_.commit(pos, has_cmd ? std::optional<sm::Command>(std::move(cmd)) : std::nullopt);
+        if (lane == dfp_lane()) {
+          dfp_committed_.insert(rid);
+          // Keep the position marked resolved so a late notice for it
+          // reroutes instead of re-opening a decided position.
+          DfpPosition& p = dfp_positions_[ts];
+          p.resolved = true;
+          p.winner = rid;
+        } else if (lane == rank_) {
+          dm_pending_.erase(ts);
+        }
+        break;
+      }
+      default:
+        break;  // Domino writes no other tags
+    }
+  });
+  execute_ready();
+
+  // Accepted-but-uncommitted own-lane entries lost their ack counts with
+  // the crash; re-replicate them (same position, same command — followers
+  // that already accepted simply re-ack) so the lane frontier cannot stall
+  // behind them.
+  std::vector<std::int64_t> pending_ts;
+  pending_ts.reserve(dm_pending_.size());
+  for (const auto& [ts, pending] : dm_pending_) {
+    (void)pending;
+    pending_ts.push_back(ts);
+  }
+  std::sort(pending_ts.begin(), pending_ts.end());
+  for (const std::int64_t ts : pending_ts) {
+    const auto* e = log_.entry(log::LogPosition{ts, static_cast<std::uint32_t>(rank_)});
+    if (e == nullptr || e->status != log::GlobalLog::Status::kAccepted) {
+      dm_pending_.erase(ts);  // resolved by a replayed record after all
+      continue;
+    }
+    if (const obs::SpanId s = open_wait_span("dm_quorum_wait"); s != 0) {
+      dm_quorum_spans_[ts] = s;
+    }
+    const DmAccept msg{ts, static_cast<std::uint32_t>(rank_), e->command};
+    for (NodeId r : replicas_) {
+      if (r != id()) send(r, msg);
+    }
+    maybe_commit_dm(ts);  // single-replica deployments commit immediately
+  }
+
+  // A restarted coordinator lost the tallies of every unresolved DFP
+  // position, so nothing would ever resolve the acceptors' stuck entries
+  // there. Schedule one range-recovery round over the live replicas; the
+  // delay lets probes and heartbeats refresh the liveness/watermark views
+  // it relies on. It starts from 0 rather than commit_frontier_: with the
+  // tallies gone the frontier no longer caps at stuck positions, so it may
+  // already have advanced past them (compacted history keeps the round
+  // cheap). Durable ballot-0 accepts make the round safe: every live
+  // replica reports its accepted entries and each reported entry is
+  // committed, so a client-observed fast commit cannot be no-op'd.
+  if (is_coordinator()) {
+    after(config_.recovery_timeout, [this, epoch = persistor_.epoch()] {
+      if (epoch != persistor_.epoch() || dfp_range_round_.active) return;
+      next_dfp_range_at_ = true_now() + kRecoveryRoundInterval;
+      start_dfp_range_recover(0);
+    });
+  }
+  send_catchup_requests();
+}
+
+void Replica::send_catchup_requests() {
+  if (!catching_up_) return;
+  if (replicas_.size() <= 1) {
+    finish_rejoin();
+    return;
+  }
+  const recovery::CatchupRequest req{persistor_.epoch(), store_.applied_count()};
+  for (NodeId r : replicas_) {
+    if (r != id()) send(r, req);
+  }
+  after(kCatchupRetryInterval, [this, epoch = persistor_.epoch()] {
+    if (catching_up_ && epoch == persistor_.epoch()) send_catchup_requests();
+  });
+}
+
+void Replica::handle_catchup_request(NodeId from, const wire::Payload& payload) {
+  // Always served, even while this replica is itself catching up: replying
+  // with the current state keeps simultaneous recoveries from deadlocking.
+  const auto req = wire::decode_message<recovery::CatchupRequest>(payload);
+  recovery::CatchupReply reply;
+  reply.epoch = req.epoch;
+  reply.applied = store_.applied_count();
+  const log::LogPosition frontier = log_.global_frontier();
+  reply.frontier = frontier.ts;
+  reply.frontier_lane = frontier.lane;
+  reply.snapshot.reserve(store_.items().size());
+  for (const auto& [key, value] : store_.items()) {
+    reply.snapshot.push_back(recovery::KvEntry{key, value});
+  }
+  // Per-lane committed-no-op watermarks: they cover the empty positions a
+  // requester cannot otherwise resolve (e.g. a revoked lane whose leader is
+  // still down and so sends no clock heartbeats).
+  reply.watermarks.reserve(log_.lane_count());
+  for (std::uint32_t lane = 0; lane < log_.lane_count(); ++lane) {
+    reply.watermarks.push_back(log_.watermark(lane));
+  }
+  for (auto& e : log_.resolved_unexecuted()) {
+    wire::ByteWriter aux;
+    aux.boolean(e.is_noop);
+    reply.entries.push_back(
+        recovery::CatchupEntry{e.pos.ts, e.pos.lane, std::move(e.command), aux.take()});
+  }
+  send(from, reply);
+}
+
+void Replica::handle_catchup_reply(const wire::Payload& payload) {
+  const auto msg = wire::decode_message<recovery::CatchupReply>(payload);
+  if (msg.epoch != persistor_.epoch()) return;  // reply to an older incarnation
+  const log::LogPosition peer_frontier{msg.frontier, msg.frontier_lane};
+  if (log_.global_frontier() < peer_frontier) {
+    std::unordered_map<std::string, std::string> items;
+    items.reserve(msg.snapshot.size());
+    for (const auto& e : msg.snapshot) items.emplace(e.key, e.value);
+    store_.install_snapshot(std::move(items), msg.applied);
+    log_.fast_forward(peer_frontier);
+    persistor_.note_catchup_install(payload.size(), true_now() - recovery_started_at_);
+  }
+  const auto lanes =
+      static_cast<std::uint32_t>(std::min<std::size_t>(msg.watermarks.size(),
+                                                       log_.lane_count()));
+  for (std::uint32_t lane = 0; lane < lanes; ++lane) {
+    log_.advance_watermark(lane, msg.watermarks[lane]);
+  }
+  for (const auto& e : msg.entries) {
+    if (e.lane >= log_.lane_count()) continue;
+    const log::LogPosition pos{e.pos, e.lane};
+    bool is_noop = false;
+    if (!e.aux.empty()) {
+      wire::ByteReader r(e.aux);
+      is_noop = r.boolean();
+    }
+    if (is_noop) {
+      if (!log_.is_committed(pos)) log_.resolve_as_noop(pos);
+      continue;
+    }
+    const auto* local = log_.entry(pos);
+    if (local != nullptr && local->status == log::GlobalLog::Status::kAbortedNoop) continue;
+    log_.commit(pos, e.command);
+    if (e.lane == dfp_lane()) {
+      dfp_committed_.insert(e.command.id);
+      DfpPosition& p = dfp_positions_[e.pos];
+      p.resolved = true;
+      p.winner = e.command.id;
+    } else if (e.lane == rank_) {
+      // Committed on our lane by someone else (a revocation while we were
+      // down): nothing left to replicate.
+      dm_pending_.erase(e.pos);
+      const auto span_it = dm_quorum_spans_.find(e.pos);
+      if (span_it != dm_quorum_spans_.end()) {
+        close_wait_span(span_it->second);
+        dm_quorum_spans_.erase(span_it);
+      }
+    }
+  }
+  execute_ready();
+  finish_rejoin();
+}
+
+void Replica::finish_rejoin() {
+  if (!catching_up_) return;
+  catching_up_ = false;
+  const Duration took = true_now() - recovery_started_at_;
+  persistor_.note_rejoin(took);
+  if (obs_sink().tracing()) {
+    obs_sink().record(obs::TraceEvent{.at = true_now(),
+                                      .kind = obs::EventKind::kRecoveryDone,
+                                      .node = id(),
+                                      .value = took.nanos()});
+  }
 }
 
 // ------------------------------------------------------------------ shared
@@ -804,11 +1246,14 @@ void Replica::handle_heartbeat(NodeId from, const wire::Payload& payload) {
 
 void Replica::broadcast_heartbeat() {
   maybe_run_failure_recovery();
-  // Our own DM lane: empty positions below our clock are no-ops.
-  log_.advance_watermark(static_cast<std::uint32_t>(rank_), local_now().nanos());
+  // Our own DM lane: empty positions below our clock are no-ops. The
+  // advertised value stops short of any acceptance still waiting on its
+  // durable sync, so the heartbeat cannot overtake the delayed notice.
+  const TimePoint advertised = advertised_watermark();
+  log_.advance_watermark(static_cast<std::uint32_t>(rank_), advertised.nanos());
 
   Heartbeat msg;
-  msg.sender_local_time = local_now();
+  msg.sender_local_time = advertised;
   if (is_coordinator() || config_.all_replicas_learn) {
     // Advance the committed-no-op frontier from directly received
     // watermarks. In every-replica-learner mode each replica computes this

@@ -26,6 +26,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -35,6 +36,7 @@
 #include "measure/estimator.h"
 #include "measure/prober.h"
 #include "measure/quorum.h"
+#include "recovery/durable.h"
 #include "rpc/node.h"
 #include "statemachine/kvstore.h"
 
@@ -72,6 +74,21 @@ class Replica : public rpc::Node {
   void start();
 
   void set_execute_hook(ExecuteHook hook) { exec_hook_ = std::move(hook); }
+
+  /// Bind simulated durable storage: DFP acceptances, DM acceptances, and
+  /// commit decisions are persisted before the notices/acks/commits that
+  /// externalize them, and the replica survives an amnesiac restart().
+  void enable_durability(recovery::DurableStore& store);
+
+  /// Amnesiac restart: wipe volatile protocol state, replay the durable
+  /// image, re-replicate pending own-lane entries, and catch up from live
+  /// peers. Measurement soft state (prober) is deliberately kept: it is not
+  /// safety-relevant and wiping it would only blind failure detection. A
+  /// restarted coordinator additionally schedules one DFP range-recovery
+  /// round, because the tallies of unresolved proposals died with it.
+  void restart();
+
+  [[nodiscard]] bool catching_up() const { return catching_up_; }
 
   [[nodiscard]] bool is_coordinator() const { return coordinator_ == id(); }
   [[nodiscard]] std::size_t rank() const { return rank_; }
@@ -131,11 +148,17 @@ class Replica : public rpc::Node {
   void handle_dm_revoke_reply(NodeId from, const wire::Payload& payload);
   void try_finalize_dm_revoke(std::uint32_t lane);
   void apply_dm_revoke_result(const DmRevokeResult& result);
-  void start_dfp_range_recover();
+  void start_dfp_range_recover(std::int64_t from_ts);
   void handle_dfp_range_recover(NodeId from, const wire::Payload& payload);
   void handle_dfp_range_reply(NodeId from, const wire::Payload& payload);
   void try_finalize_dfp_range();
   void apply_dfp_range_resolve(const DfpRangeResolve& resolve);
+
+  // ---- crash recovery ----
+  void handle_catchup_request(NodeId from, const wire::Payload& payload);
+  void handle_catchup_reply(const wire::Payload& payload);
+  void send_catchup_requests();
+  void finish_rejoin();
 
   // ---- shared ----
   void handle_heartbeat(NodeId from, const wire::Payload& payload);
@@ -152,6 +175,19 @@ class Replica : public rpc::Node {
   ExecuteHook exec_hook_;
   measure::Prober prober_;
   rpc::RepeatingTimer heartbeat_;
+
+  // Crash recovery.
+  recovery::Persistor persistor_;
+  bool catching_up_ = false;
+  TimePoint recovery_started_at_ = TimePoint::epoch();
+  /// Timestamps of acceptances whose externalizing send is still waiting on
+  /// the durable sync. While one is pending, the advertised clock watermark
+  /// must not pass it: a heartbeat overtaking the delayed acceptance notice
+  /// (FIFO orders by *send* time) would let peers no-op a position this
+  /// replica accepted, and they would skip a command others execute.
+  std::multiset<std::int64_t> watermark_holds_;
+  [[nodiscard]] TimePoint advertised_watermark() const;
+  void release_watermark_hold(std::int64_t ts);
 
   // Coordinator state. Distinct commands proposed at the same timestamp
   // (client timestamp collisions, Section 5.3.3) are tallied separately.

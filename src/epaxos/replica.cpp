@@ -2,9 +2,16 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "recovery/messages.h"
 
 namespace domino::epaxos {
 namespace {
+
+/// Catch-up request retransmit interval for a recovering replica.
+constexpr Duration kCatchupRetryInterval = milliseconds(100);
 
 /// Union of two dependency lists (small lists; linear scan is fine).
 DepList merge_deps(DepList a, const DepList& b) {
@@ -46,20 +53,46 @@ void Replica::on_packet(const net::Packet& packet) {
       handle_preaccept(packet.src, packet.payload);
       break;
     case wire::MessageType::kEpaxosPreAcceptReply:
-      handle_preaccept_reply(packet.payload);
+      handle_preaccept_reply(packet.src, packet.payload);
       break;
     case wire::MessageType::kEpaxosAccept:
       handle_accept(packet.src, packet.payload);
       break;
     case wire::MessageType::kEpaxosAcceptReply:
-      handle_accept_reply(packet.payload);
+      handle_accept_reply(packet.src, packet.payload);
       break;
     case wire::MessageType::kEpaxosCommit:
       handle_commit(packet.payload);
       break;
+    case wire::MessageType::kCatchupRequest:
+      handle_catchup_request(packet.src, packet.payload);
+      break;
+    case wire::MessageType::kCatchupReply:
+      handle_catchup_reply(packet.payload);
+      break;
     default:
       break;
   }
+}
+
+void Replica::enable_durability(recovery::DurableStore& store) {
+  persistor_.bind(store, id(), [this](Duration delay, std::function<void()> fn) {
+    after(delay, std::move(fn));
+  });
+}
+
+wire::Payload Replica::instance_record(const InstanceId& inst_id, const sm::Command& cmd,
+                                       std::uint64_t seq, const DepList& deps,
+                                       Status status, NodeId client) const {
+  wire::ByteWriter w;
+  inst_id.encode(w);
+  cmd.encode(w);
+  w.varint(seq);
+  encode_deps(w, deps);
+  w.u8(static_cast<std::uint8_t>(status));
+  w.boolean(client.valid());  // leader records carry the requesting client
+  if (client.valid()) w.node_id(client);
+  return w.take();
 }
 
 std::pair<std::uint64_t, DepList> Replica::attributes_for(const sm::Command& cmd,
@@ -76,6 +109,7 @@ std::pair<std::uint64_t, DepList> Replica::attributes_for(const sm::Command& cmd
 }
 
 void Replica::handle_client_request(const net::Packet& packet) {
+  if (catching_up_) return;  // not rejoined yet; the client's retry will land
   const auto req = wire::decode_message<ClientRequest>(packet.payload);
   const InstanceId inst{id(), next_instance_++};
   auto [seq, deps] = attributes_for(req.command, inst);
@@ -89,10 +123,19 @@ void Replica::handle_client_request(const net::Packet& packet) {
     quorum_spans_[inst] = s;
   }
 
-  PreAccept msg{inst, req.command, seq, deps};
-  for (NodeId r : replicas_) {
-    if (r != id()) send(r, msg);
-  }
+  const sm::Command command = req.command;
+  persistor_.persist(
+      recovery::RecordTag::kAccepted,
+      [&] {
+        return instance_record(inst, command, seq, deps, Status::kPreAccepted,
+                               command.id.client);
+      },
+      [this, inst, command, seq = seq, deps = deps] {
+        const PreAccept msg{inst, command, seq, deps};
+        for (NodeId r : replicas_) {
+          if (r != id()) send(r, msg);
+        }
+      });
 }
 
 void Replica::handle_preaccept(NodeId from, const wire::Payload& payload) {
@@ -111,10 +154,20 @@ void Replica::handle_preaccept(NodeId from, const wire::Payload& payload) {
   if (inst_it == instances_.end() || inst_it->second.status == Status::kPreAccepted) {
     instances_[msg.instance] = Instance{msg.command, seq, deps, Status::kPreAccepted};
   }
-  send(from, PreAcceptReply{msg.instance, seq, deps});
+  // The reply promises the merged attributes; they must survive a crash or
+  // the leader could fast-commit on attributes this replica later disowns.
+  persistor_.persist(
+      recovery::RecordTag::kAccepted,
+      [&] {
+        return instance_record(msg.instance, msg.command, seq, deps, Status::kPreAccepted,
+                               NodeId::invalid());
+      },
+      [this, from, inst = msg.instance, seq, deps] {
+        send(from, PreAcceptReply{inst, seq, deps});
+      });
 }
 
-void Replica::handle_preaccept_reply(const wire::Payload& payload) {
+void Replica::handle_preaccept_reply(NodeId from, const wire::Payload& payload) {
   const auto msg = wire::decode_message<PreAcceptReply>(payload);
   auto book_it = leading_.find(msg.instance);
   if (book_it == leading_.end()) return;
@@ -122,14 +175,18 @@ void Replica::handle_preaccept_reply(const wire::Payload& payload) {
   if (book.in_accept_phase) return;
   auto inst_it = instances_.find(msg.instance);
   if (inst_it == instances_.end() || inst_it->second.status != Status::kPreAccepted) return;
+  if (std::find(book.preaccept_acks.begin(), book.preaccept_acks.end(), from) !=
+      book.preaccept_acks.end()) {
+    return;  // duplicate reply (re-broadcast after a restart)
+  }
 
-  ++book.preaccept_replies;
+  book.preaccept_acks.push_back(from);
   if (msg.seq != book.seq || !same_deps(msg.deps, book.deps)) {
     book.attributes_changed = true;
     book.seq = std::max(book.seq, msg.seq);
     book.deps = merge_deps(std::move(book.deps), msg.deps);
   }
-  if (book.preaccept_replies + 1 < fast_quorum(replicas_.size())) return;
+  if (book.preaccept_acks.size() + 1 < fast_quorum(replicas_.size())) return;
 
   Instance& inst = inst_it->second;
   if (!book.attributes_changed) {
@@ -142,9 +199,24 @@ void Replica::handle_preaccept_reply(const wire::Payload& payload) {
                                         .node = id(),
                                         .request = inst.command.id});
     }
-    commit_instance(msg.instance, inst.command, book.seq, book.deps, /*broadcast=*/true);
-    send(book.client, ClientReply{inst.command.id});
+    // The commit decision is externalized by the ClientReply and the Commit
+    // broadcast, so it must be durable first. The book is erased now so
+    // replies landing during the sync window cannot re-trigger the quorum.
+    const sm::Command command = inst.command;
+    const std::uint64_t seq = book.seq;
+    const DepList deps = book.deps;
+    const NodeId client = book.client;
     leading_.erase(book_it);
+    persistor_.persist(
+        recovery::RecordTag::kCommitted,
+        [&] {
+          return instance_record(msg.instance, command, seq, deps, Status::kCommitted,
+                                 NodeId::invalid());
+        },
+        [this, inst_id = msg.instance, command, seq, deps, client] {
+          commit_instance(inst_id, command, seq, deps, /*broadcast=*/true);
+          send(client, ClientReply{command.id});
+        });
     return;
   }
   // Slow path: Paxos-Accept round with the union attributes.
@@ -152,10 +224,19 @@ void Replica::handle_preaccept_reply(const wire::Payload& payload) {
   inst.seq = book.seq;
   inst.deps = book.deps;
   inst.status = Status::kAccepted;
-  Accept msg_out{msg.instance, inst.command, book.seq, book.deps};
-  for (NodeId r : replicas_) {
-    if (r != id()) send(r, msg_out);
-  }
+  const sm::Command command = inst.command;
+  persistor_.persist(
+      recovery::RecordTag::kAccepted,
+      [&] {
+        return instance_record(msg.instance, command, book.seq, book.deps,
+                               Status::kAccepted, book.client);
+      },
+      [this, inst_id = msg.instance, command, seq = book.seq, deps = book.deps] {
+        const Accept msg_out{inst_id, command, seq, deps};
+        for (NodeId r : replicas_) {
+          if (r != id()) send(r, msg_out);
+        }
+      });
 }
 
 void Replica::handle_accept(NodeId from, const wire::Payload& payload) {
@@ -172,30 +253,298 @@ void Replica::handle_accept(NodeId from, const wire::Payload& payload) {
   if (kt == key_table_.end() || kt->second.second < msg.seq) {
     key_table_[msg.command.key] = {msg.instance, msg.seq};
   }
-  send(from, AcceptReply{msg.instance});
+  persistor_.persist(
+      recovery::RecordTag::kAccepted,
+      [&] {
+        return instance_record(msg.instance, msg.command, msg.seq, msg.deps,
+                               Status::kAccepted, NodeId::invalid());
+      },
+      [this, from, inst = msg.instance] { send(from, AcceptReply{inst}); });
 }
 
-void Replica::handle_accept_reply(const wire::Payload& payload) {
+void Replica::handle_accept_reply(NodeId from, const wire::Payload& payload) {
   const auto msg = wire::decode_message<AcceptReply>(payload);
   auto book_it = leading_.find(msg.instance);
   if (book_it == leading_.end()) return;
   LeaderBook& book = book_it->second;
   if (!book.in_accept_phase) return;
-  if (++book.accept_replies + 1 < measure::majority(replicas_.size())) return;
+  if (std::find(book.accept_acks.begin(), book.accept_acks.end(), from) !=
+      book.accept_acks.end()) {
+    return;  // duplicate reply (re-broadcast after a restart)
+  }
+  book.accept_acks.push_back(from);
+  if (book.accept_acks.size() + 1 < measure::majority(replicas_.size())) return;
 
   auto inst_it = instances_.find(msg.instance);
   if (inst_it == instances_.end()) return;
   ++slow_commits_;
   obs_slow_.inc();
-  commit_instance(msg.instance, inst_it->second.command, book.seq, book.deps,
-                  /*broadcast=*/true);
-  send(book.client, ClientReply{inst_it->second.command.id});
+  const sm::Command command = inst_it->second.command;
+  const std::uint64_t seq = book.seq;
+  const DepList deps = book.deps;
+  const NodeId client = book.client;
   leading_.erase(book_it);
+  persistor_.persist(
+      recovery::RecordTag::kCommitted,
+      [&] {
+        return instance_record(msg.instance, command, seq, deps, Status::kCommitted,
+                               NodeId::invalid());
+      },
+      [this, inst_id = msg.instance, command, seq, deps, client] {
+        commit_instance(inst_id, command, seq, deps, /*broadcast=*/true);
+        send(client, ClientReply{command.id});
+      });
 }
 
 void Replica::handle_commit(const wire::Payload& payload) {
   const auto msg = wire::decode_message<Commit>(payload);
   commit_instance(msg.instance, msg.command, msg.seq, msg.deps, /*broadcast=*/false);
+  // Nothing is externalized on this path, so the persist is fire-and-forget.
+  persistor_.persist(recovery::RecordTag::kCommitted, [&] {
+    return instance_record(msg.instance, msg.command, msg.seq, msg.deps,
+                           Status::kCommitted, NodeId::invalid());
+  });
+}
+
+void Replica::restart() {
+  persistor_.begin_restart();
+  for (auto& [inst, span] : quorum_spans_) {
+    (void)inst;
+    close_wait_span(span);
+  }
+  quorum_spans_.clear();
+  for (auto& [inst, span] : dep_spans_) {
+    (void)inst;
+    close_wait_span(span);
+  }
+  dep_spans_.clear();
+  instances_.clear();
+  leading_.clear();
+  key_table_.clear();
+  waiters_.clear();
+  store_ = sm::KvStore{};
+  next_instance_ = 0;
+  committed_ = 0;
+  executed_ = 0;
+  catching_up_ = true;
+  recovery_started_at_ = true_now();
+  if (obs_sink().tracing()) {
+    obs_sink().record(obs::TraceEvent{
+        .at = true_now(),
+        .kind = obs::EventKind::kRecoveryStart,
+        .node = id(),
+        .value = static_cast<std::int64_t>(persistor_.epoch())});
+  }
+
+  persistor_.replay([this](const recovery::DurableRecord& rec) {
+    if (rec.tag != recovery::RecordTag::kAccepted &&
+        rec.tag != recovery::RecordTag::kCommitted) {
+      return;  // EPaxos writes no other tags
+    }
+    wire::ByteReader r(rec.body);
+    const InstanceId inst_id = InstanceId::decode(r);
+    sm::Command cmd = sm::Command::decode(r);
+    const std::uint64_t seq = r.varint();
+    DepList deps = decode_deps(r);
+    const auto status = static_cast<Status>(r.u8());
+    NodeId client = NodeId::invalid();
+    if (r.boolean()) client = r.node_id();
+
+    if (inst_id.replica == id()) {
+      next_instance_ = std::max(next_instance_, inst_id.seq + 1);
+    }
+    auto kt = key_table_.find(cmd.key);
+    if (kt == key_table_.end() || kt->second.second < seq) {
+      key_table_[cmd.key] = {inst_id, seq};
+    }
+    if (rec.tag == recovery::RecordTag::kCommitted) {
+      // Direct mutation (not commit_instance): replay rebuilds state without
+      // re-counting commits or re-broadcasting.
+      instances_[inst_id] = Instance{std::move(cmd), seq, deps, Status::kCommitted};
+      leading_.erase(inst_id);  // the client was already answered
+      return;
+    }
+    auto it = instances_.find(inst_id);
+    if (it == instances_.end() || it->second.status < Status::kCommitted) {
+      // Later records supersede earlier ones, but never downgrade a commit
+      // (a duplicate round from a previous incarnation may replay late).
+      instances_[inst_id] = Instance{std::move(cmd), seq, deps, status};
+    }
+    if (client.valid()) {
+      LeaderBook book;
+      book.seq = seq;
+      book.deps = std::move(deps);
+      book.in_accept_phase = (status == Status::kAccepted);
+      book.attributes_changed = book.in_accept_phase;
+      book.client = client;
+      leading_[inst_id] = std::move(book);
+    }
+  });
+
+  // Re-execute the committed graph from an empty store.
+  std::vector<InstanceId> committed_ids;
+  for (const auto& [inst_id, inst] : instances_) {
+    if (inst.status == Status::kCommitted) committed_ids.push_back(inst_id);
+  }
+  committed_ = committed_ids.size();
+  for (const auto& inst_id : committed_ids) try_execute(inst_id);
+
+  // Re-lead own uncommitted instances: the reply tallies died with the
+  // crash, so restart the round (peers treat the re-broadcast as a
+  // retransmission and simply re-reply).
+  for (auto& [inst_id, book] : leading_) {
+    const auto it = instances_.find(inst_id);
+    if (it == instances_.end() || it->second.status >= Status::kCommitted) continue;
+    book.preaccept_acks.clear();
+    book.accept_acks.clear();
+    if (const obs::SpanId s = open_wait_span("epaxos_quorum_wait"); s != 0) {
+      quorum_spans_[inst_id] = s;
+    }
+    if (book.in_accept_phase) {
+      const Accept msg{inst_id, it->second.command, book.seq, book.deps};
+      for (NodeId r : replicas_) {
+        if (r != id()) send(r, msg);
+      }
+    } else {
+      const PreAccept msg{inst_id, it->second.command, book.seq, book.deps};
+      for (NodeId r : replicas_) {
+        if (r != id()) send(r, msg);
+      }
+    }
+  }
+  send_catchup_requests();
+}
+
+void Replica::send_catchup_requests() {
+  if (!catching_up_) return;
+  if (replicas_.size() <= 1) {
+    finish_rejoin();
+    return;
+  }
+  const recovery::CatchupRequest req{persistor_.epoch(), store_.applied_count()};
+  for (NodeId r : replicas_) {
+    if (r != id()) send(r, req);
+  }
+  after(kCatchupRetryInterval, [this, epoch = persistor_.epoch()] {
+    if (catching_up_ && epoch == persistor_.epoch()) send_catchup_requests();
+  });
+}
+
+void Replica::handle_catchup_request(NodeId from, const wire::Payload& payload) {
+  // Always served, even while this replica is itself catching up: replying
+  // with the current state keeps simultaneous recoveries from deadlocking.
+  const auto req = wire::decode_message<recovery::CatchupRequest>(payload);
+  recovery::CatchupReply reply;
+  reply.epoch = req.epoch;
+  reply.applied = store_.applied_count();
+  reply.frontier = static_cast<std::int64_t>(store_.applied_count());
+  reply.snapshot.reserve(store_.items().size());
+  for (const auto& [key, value] : store_.items()) {
+    reply.snapshot.push_back(recovery::KvEntry{key, value});
+  }
+  // EPaxos has no totally-ordered log: ship the full committed instance set
+  // with its attributes in the aux field.
+  for (const auto& [inst_id, inst] : instances_) {
+    if (inst.status != Status::kCommitted && inst.status != Status::kExecuted) continue;
+    wire::ByteWriter aux;
+    inst_id.encode(aux);
+    aux.varint(inst.seq);
+    encode_deps(aux, inst.deps);
+    aux.boolean(inst.status == Status::kExecuted);
+    reply.entries.push_back(recovery::CatchupEntry{0, 0, inst.command, aux.take()});
+  }
+  send(from, reply);
+}
+
+void Replica::handle_catchup_reply(const wire::Payload& payload) {
+  const auto msg = wire::decode_message<recovery::CatchupReply>(payload);
+  if (msg.epoch != persistor_.epoch()) return;  // reply to an older incarnation
+  // Only the first qualifying reply installs a snapshot: once rejoined the
+  // store reflects live executions a later reply's snapshot (taken at the
+  // peer's earlier reply time, or by a peer with a different execution
+  // frontier) may not contain — overwriting would silently lose them while
+  // their instances stay marked executed. Later replies still merge their
+  // committed-instance sets below, which is idempotent.
+  const bool installed = catching_up_ && msg.applied > store_.applied_count();
+  if (installed) {
+    std::unordered_map<std::string, std::string> items;
+    items.reserve(msg.snapshot.size());
+    for (const auto& e : msg.snapshot) items.emplace(e.key, e.value);
+    store_.install_snapshot(std::move(items), msg.applied);
+    persistor_.note_catchup_install(payload.size(), true_now() - recovery_started_at_);
+  }
+  std::unordered_set<InstanceId> peer_knows;
+  peer_knows.reserve(msg.entries.size());
+  for (const auto& e : msg.entries) {
+    wire::ByteReader ar(e.aux);
+    const InstanceId inst_id = InstanceId::decode(ar);
+    const std::uint64_t seq = ar.varint();
+    DepList deps = decode_deps(ar);
+    const bool peer_executed = ar.boolean();
+    peer_knows.insert(inst_id);
+    if (inst_id.replica == id()) {
+      next_instance_ = std::max(next_instance_, inst_id.seq + 1);
+    }
+    auto it = instances_.find(inst_id);
+    if (it != instances_.end() && it->second.status == Status::kExecuted) continue;
+    auto kt = key_table_.find(e.command.key);
+    if (kt == key_table_.end() || kt->second.second < seq) {
+      key_table_[e.command.key] = {inst_id, seq};
+    }
+    leading_.erase(inst_id);  // committed cluster-wide; nothing left to lead
+    if (installed && peer_executed) {
+      // The installed snapshot already reflects this command's execution:
+      // mark it executed without re-applying, and release its waiters.
+      instances_[inst_id] = Instance{e.command, seq, std::move(deps), Status::kExecuted};
+      auto w = waiters_.find(inst_id);
+      if (w != waiters_.end()) {
+        const std::vector<InstanceId> blocked = std::move(w->second);
+        waiters_.erase(w);
+        for (const auto& b : blocked) {
+          const auto dspan_it = dep_spans_.find(b);
+          if (dspan_it != dep_spans_.end()) {
+            close_wait_span(dspan_it->second);
+            dep_spans_.erase(dspan_it);
+          }
+          try_execute(b);
+        }
+      }
+    } else {
+      commit_instance(inst_id, e.command, seq, deps, /*broadcast=*/false);
+    }
+  }
+  if (catching_up_) {
+    // Re-announce own-led commits this peer does not know. A crash inside
+    // the durable-sync window cancels the Commit broadcast after the
+    // decision is already durable, and replay deliberately does not
+    // re-broadcast — so a peer that was live the whole time (and thus will
+    // never catch up itself) would block forever on the instance, wedging
+    // every later instance that depends on it. Duplicates are no-ops at
+    // the receiver (commit_instance is idempotent).
+    for (const auto& [inst_id, inst] : instances_) {
+      if (inst_id.replica != id()) continue;
+      if (inst.status != Status::kCommitted && inst.status != Status::kExecuted) continue;
+      if (peer_knows.contains(inst_id)) continue;
+      const Commit out{inst_id, inst.command, inst.seq, inst.deps};
+      for (NodeId r : replicas_) {
+        if (r != id()) send(r, out);
+      }
+    }
+  }
+  finish_rejoin();
+}
+
+void Replica::finish_rejoin() {
+  if (!catching_up_) return;
+  catching_up_ = false;
+  const Duration took = true_now() - recovery_started_at_;
+  persistor_.note_rejoin(took);
+  if (obs_sink().tracing()) {
+    obs_sink().record(obs::TraceEvent{.at = true_now(),
+                                      .kind = obs::EventKind::kRecoveryDone,
+                                      .node = id(),
+                                      .value = took.nanos()});
+  }
 }
 
 void Replica::commit_instance(const InstanceId& inst_id, const sm::Command& cmd,

@@ -22,6 +22,7 @@
 
 #include "epaxos/messages.h"
 #include "measure/quorum.h"
+#include "recovery/durable.h"
 #include "rpc/node.h"
 #include "statemachine/kvstore.h"
 
@@ -44,6 +45,18 @@ class Replica : public rpc::Node {
           sim::LocalClock clock = sim::LocalClock{});
 
   void set_execute_hook(ExecuteHook hook) { exec_hook_ = std::move(hook); }
+
+  /// Bind simulated durable storage: instance attributes are persisted
+  /// before the replies/commits that externalize them, and the replica
+  /// survives an amnesiac restart().
+  void enable_durability(recovery::DurableStore& store);
+
+  /// Amnesiac restart: wipe volatile state, replay the durable image
+  /// (rebuilding the interference table and leader books), re-lead own
+  /// uncommitted instances, and catch up from live peers.
+  void restart();
+
+  [[nodiscard]] bool catching_up() const { return catching_up_; }
 
   [[nodiscard]] const sm::KvStore& store() const { return store_; }
   [[nodiscard]] std::uint64_t committed_count() const { return committed_; }
@@ -68,18 +81,30 @@ class Replica : public rpc::Node {
     std::uint64_t seq = 0;
     DepList deps;
     bool attributes_changed = false;
-    std::size_t preaccept_replies = 0;
-    std::size_t accept_replies = 0;
+    // Ack sets (not counts): a restarted leader re-broadcasts its round, so
+    // a peer may reply more than once and must not be counted twice.
+    std::vector<NodeId> preaccept_acks;  // repliers, self excluded
+    std::vector<NodeId> accept_acks;
     bool in_accept_phase = false;
     NodeId client;
   };
 
   void handle_client_request(const net::Packet& packet);
   void handle_preaccept(NodeId from, const wire::Payload& payload);
-  void handle_preaccept_reply(const wire::Payload& payload);
+  void handle_preaccept_reply(NodeId from, const wire::Payload& payload);
   void handle_accept(NodeId from, const wire::Payload& payload);
-  void handle_accept_reply(const wire::Payload& payload);
+  void handle_accept_reply(NodeId from, const wire::Payload& payload);
   void handle_commit(const wire::Payload& payload);
+  void handle_catchup_request(NodeId from, const wire::Payload& payload);
+  void handle_catchup_reply(const wire::Payload& payload);
+  void send_catchup_requests();
+  void finish_rejoin();
+
+  /// Serialize an instance's attributes into a durable record body.
+  [[nodiscard]] wire::Payload instance_record(const InstanceId& inst_id,
+                                              const sm::Command& cmd, std::uint64_t seq,
+                                              const DepList& deps, Status status,
+                                              NodeId client) const;
 
   /// Compute (seq, deps) for `cmd` against the local interference table and
   /// record `inst` as the latest writer of its key.
@@ -94,6 +119,11 @@ class Replica : public rpc::Node {
   std::vector<NodeId> replicas_;
   sm::KvStore store_;
   ExecuteHook exec_hook_;
+
+  // Crash recovery.
+  recovery::Persistor persistor_;
+  bool catching_up_ = false;
+  TimePoint recovery_started_at_ = TimePoint::epoch();
 
   std::unordered_map<InstanceId, Instance> instances_;
   std::unordered_map<InstanceId, LeaderBook> leading_;

@@ -2,8 +2,17 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "recovery/messages.h"
 
 namespace domino::fastpaxos {
+
+namespace {
+/// Catch-up request retransmit interval for a recovering replica.
+constexpr Duration kCatchupRetryInterval = milliseconds(100);
+}  // namespace
 
 Replica::Replica(NodeId id, std::size_t dc, net::Network& network,
                  std::vector<NodeId> replicas, NodeId coordinator,
@@ -38,14 +47,27 @@ void Replica::on_packet(const net::Packet& packet) {
     case wire::MessageType::kFastPaxosCommit:
       handle_commit(packet.payload);
       break;
+    case wire::MessageType::kCatchupRequest:
+      handle_catchup_request(packet.src, packet.payload);
+      break;
+    case wire::MessageType::kCatchupReply:
+      handle_catchup_reply(packet.payload);
+      break;
     default:
       break;
   }
 }
 
+void Replica::enable_durability(recovery::DurableStore& store) {
+  persistor_.bind(store, id(), [this](Duration delay, std::function<void()> fn) {
+    after(delay, std::move(fn));
+  });
+}
+
 // ---------------------------------------------------------------- acceptor
 
 void Replica::handle_client_request(const net::Packet& packet) {
+  if (catching_up_) return;  // not rejoined yet; the client's retry will land
   const auto req = wire::decode_message<ClientRequest>(packet.payload);
   const RequestId rid = req.command.id;
 
@@ -61,7 +83,18 @@ void Replica::handle_client_request(const net::Packet& packet) {
     const bool committed_here =
         entry != nullptr && entry->command.id == rid &&
         entry->status != log::EntryStatus::kAccepted;
-    if (committed_here || !resolved_against_us) return;  // done, or still pending
+    if (committed_here) {
+      // A retry of a request that already won: the coordinator's reply was
+      // lost (it crashed between deciding and sending); answer directly.
+      send(rid.client, ClientReply{rid});
+      return;
+    }
+    if (!resolved_against_us) {
+      // Still pending: re-notify the coordinator, whose tally for this
+      // index may have died with a crash. Idempotent on a live tally.
+      send(coordinator_, AcceptNotice{old_index, req.command});
+      return;
+    }
     // The request lost its old position; fall through and assign a new one.
   }
 
@@ -70,9 +103,20 @@ void Replica::handle_client_request(const net::Packet& packet) {
   obs_accepts_.inc();
   assignment_[rid] = index;
 
-  const AcceptNotice notice{index, req.command};
-  send(coordinator_, notice);
-  send(rid.client, notice);
+  const sm::Command command = req.command;
+  persistor_.persist(
+      recovery::RecordTag::kAccepted,
+      [&] {
+        wire::ByteWriter w;
+        w.varint(index);
+        command.encode(w);
+        return w.take();
+      },
+      [this, index, command, client = rid.client] {
+        const AcceptNotice notice{index, command};
+        send(coordinator_, notice);
+        send(client, notice);
+      });
 }
 
 void Replica::handle_recovery_accept(NodeId from, const wire::Payload& payload) {
@@ -89,6 +133,14 @@ void Replica::handle_commit(const wire::Payload& payload) {
   } else {
     log_.commit(msg.index, msg.command);
   }
+  // Nothing is externalized on this path, so the persist is fire-and-forget.
+  persistor_.persist(recovery::RecordTag::kCommitted, [&] {
+    wire::ByteWriter w;
+    w.varint(msg.index);
+    w.boolean(msg.is_noop);
+    msg.command.encode(w);
+    return w.take();
+  });
   execute_ready();
 }
 
@@ -99,8 +151,16 @@ void Replica::handle_accept_notice(NodeId from, const wire::Payload& payload) {
   const auto msg = wire::decode_message<AcceptNotice>(payload);
   Tally& tally = tallies_[msg.index];
   if (tally.resolved) {
-    // Late report for an already-resolved position: if this request lost,
-    // get it re-proposed.
+    // Late report for an already-resolved position. Re-send the decision to
+    // the reporter: if it is a recovering acceptor retrying a request whose
+    // Commit died with a crash, this is what unblocks its log.
+    if (log_.is_skipped(msg.index)) {
+      send(from, Commit{msg.index, /*is_noop=*/true, {}});
+    } else if (const auto* e = log_.entry(msg.index);
+               e != nullptr && e->status != log::EntryStatus::kAccepted) {
+      send(from, Commit{msg.index, /*is_noop=*/false, e->command});
+    }
+    // If this request lost, get it re-proposed.
     if (!committed_requests_.contains(msg.command.id)) {
       for (NodeId r : replicas_) send(r, ClientRequest{msg.command});
     }
@@ -250,16 +310,28 @@ void Replica::finish_commit(std::uint64_t index, bool is_noop, const sm::Command
     log_.skip(index, index);
   }
 
-  // Notify acceptors first (FIFO: re-proposals below must arrive after the
-  // Commit so acceptors see their old assignment resolved before they are
-  // asked to reassign).
-  const Commit commit{index, is_noop, command};
-  for (NodeId r : replicas_) {
-    if (r != id()) send(r, commit);
-  }
-  if (!is_noop) send(command.id.client, ClientReply{command.id});
-
-  repropose_losers(index, winner);
+  // The decision is externalized by the Commit broadcast and the client
+  // reply, so it must be durable first.
+  persistor_.persist(
+      recovery::RecordTag::kCommitted,
+      [&] {
+        wire::ByteWriter w;
+        w.varint(index);
+        w.boolean(is_noop);
+        command.encode(w);
+        return w.take();
+      },
+      [this, index, is_noop, command, winner] {
+        // Notify acceptors first (FIFO: re-proposals below must arrive after
+        // the Commit so acceptors see their old assignment resolved before
+        // they are asked to reassign).
+        const Commit commit{index, is_noop, command};
+        for (NodeId r : replicas_) {
+          if (r != id()) send(r, commit);
+        }
+        if (!is_noop) send(command.id.client, ClientReply{command.id});
+        repropose_losers(index, winner);
+      });
   execute_ready();
 }
 
@@ -275,6 +347,187 @@ void Replica::repropose_losers(std::uint64_t index, const std::optional<RequestI
   for (const auto& [rid, cmd] : losers) {
     (void)rid;
     for (NodeId r : replicas_) send(r, ClientRequest{cmd});
+  }
+}
+
+void Replica::restart() {
+  persistor_.begin_restart();
+  for (auto& [index, span] : recovery_spans_) {
+    (void)index;
+    close_wait_span(span);
+  }
+  recovery_spans_.clear();
+  log_ = log::IndexLog{};
+  store_ = sm::KvStore{};
+  assignment_.clear();
+  next_index_ = 0;
+  tallies_.clear();
+  committed_requests_.clear();
+  recovery_chosen_.clear();
+  fast_commits_ = 0;
+  slow_commits_ = 0;
+  catching_up_ = true;
+  recovery_started_at_ = true_now();
+  if (obs_sink().tracing()) {
+    obs_sink().record(obs::TraceEvent{
+        .at = true_now(),
+        .kind = obs::EventKind::kRecoveryStart,
+        .node = id(),
+        .value = static_cast<std::int64_t>(persistor_.epoch())});
+  }
+
+  std::uint64_t max_index = 0;
+  bool any = false;
+  persistor_.replay([this, &max_index, &any](const recovery::DurableRecord& rec) {
+    wire::ByteReader r(rec.body);
+    switch (rec.tag) {
+      case recovery::RecordTag::kAccepted: {
+        const std::uint64_t index = r.varint();
+        sm::Command cmd = sm::Command::decode(r);
+        assignment_[cmd.id] = index;
+        if (!log_.is_committed(index) && !log_.is_skipped(index)) {
+          log_.accept(index, std::move(cmd));
+        }
+        next_index_ = std::max(next_index_, index + 1);
+        max_index = std::max(max_index, index);
+        any = true;
+        break;
+      }
+      case recovery::RecordTag::kCommitted: {
+        const std::uint64_t index = r.varint();
+        const bool is_noop = r.boolean();
+        sm::Command cmd = sm::Command::decode(r);
+        if (is_noop) {
+          log_.skip(index, index);
+        } else {
+          committed_requests_.emplace(cmd.id, cmd);
+          log_.commit(index, std::move(cmd));
+        }
+        // The coordinator's own decisions must stay resolved, or a late
+        // notice could re-open a decided index.
+        if (is_coordinator()) tallies_[index].resolved = true;
+        max_index = std::max(max_index, index);
+        any = true;
+        break;
+      }
+      default:
+        break;  // Fast Paxos writes no other tags
+    }
+  });
+  execute_ready();
+
+  // Coordinator gap-filling: tallies for undecided indices died with the
+  // crash, and acceptors only re-notify when their client retries. Arm a
+  // recovery timer for every undecided index at or below the highest index
+  // seen, so positions whose reporters have all moved on still resolve (to
+  // no-ops). Safe with an empty tally: this coordinator is the only
+  // learner, so a value can only have been chosen if its decision is in our
+  // durable log — and those replayed as resolved above.
+  if (is_coordinator() && any) {
+    for (std::uint64_t index = log_.execution_frontier(); index <= max_index; ++index) {
+      if (log_.is_skipped(index) || log_.is_committed(index)) continue;
+      Tally& tally = tallies_[index];
+      if (tally.resolved) continue;
+      tally.timer_armed = true;
+      after(recovery_timeout_, [this, index] {
+        auto it = tallies_.find(index);
+        if (it == tallies_.end() || it->second.resolved || it->second.recovering) return;
+        start_recovery(index);
+      });
+    }
+  }
+  send_catchup_requests();
+}
+
+void Replica::send_catchup_requests() {
+  if (!catching_up_) return;
+  if (replicas_.size() <= 1) {
+    finish_rejoin();
+    return;
+  }
+  const recovery::CatchupRequest req{persistor_.epoch(), store_.applied_count()};
+  for (NodeId r : replicas_) {
+    if (r != id()) send(r, req);
+  }
+  after(kCatchupRetryInterval, [this, epoch = persistor_.epoch()] {
+    if (catching_up_ && epoch == persistor_.epoch()) send_catchup_requests();
+  });
+}
+
+void Replica::handle_catchup_request(NodeId from, const wire::Payload& payload) {
+  // Always served, even while this replica is itself catching up: replying
+  // with the current state keeps simultaneous recoveries from deadlocking.
+  const auto req = wire::decode_message<recovery::CatchupRequest>(payload);
+  recovery::CatchupReply reply;
+  reply.epoch = req.epoch;
+  reply.applied = store_.applied_count();
+  reply.frontier = static_cast<std::int64_t>(log_.execution_frontier());
+  reply.snapshot.reserve(store_.items().size());
+  for (const auto& [key, value] : store_.items()) {
+    reply.snapshot.push_back(recovery::KvEntry{key, value});
+  }
+  for (auto& [index, command] : log_.committed_unexecuted()) {
+    reply.entries.push_back(recovery::CatchupEntry{
+        static_cast<std::int64_t>(index), 0, std::move(command), {}});
+  }
+  // No-op decisions are one-shot Commit broadcasts in Fast Paxos, so a
+  // recovering replica cannot re-learn them from retransmissions: ship the
+  // skipped ranges above the frontier explicitly (aux = range end).
+  for (const auto& [lo, hi] : log_.skipped_after(log_.execution_frontier())) {
+    wire::ByteWriter aux;
+    aux.varint(hi);
+    reply.entries.push_back(recovery::CatchupEntry{
+        static_cast<std::int64_t>(lo), 0, sm::Command{}, aux.take()});
+  }
+  send(from, reply);
+}
+
+void Replica::handle_catchup_reply(const wire::Payload& payload) {
+  const auto msg = wire::decode_message<recovery::CatchupReply>(payload);
+  if (msg.epoch != persistor_.epoch()) return;  // reply to an older incarnation
+  if (msg.frontier > static_cast<std::int64_t>(log_.execution_frontier())) {
+    std::unordered_map<std::string, std::string> items;
+    items.reserve(msg.snapshot.size());
+    for (const auto& e : msg.snapshot) items.emplace(e.key, e.value);
+    store_.install_snapshot(std::move(items), msg.applied);
+    log_.fast_forward(static_cast<std::uint64_t>(msg.frontier));
+    persistor_.note_catchup_install(payload.size(), true_now() - recovery_started_at_);
+  }
+  for (const auto& e : msg.entries) {
+    if (!e.aux.empty()) {  // skipped range [pos, aux]
+      wire::ByteReader ar(e.aux);
+      const std::uint64_t hi = ar.varint();
+      const auto lo =
+          std::max(static_cast<std::uint64_t>(e.pos), log_.execution_frontier());
+      if (hi < lo) continue;
+      log_.skip(lo, hi);
+      if (is_coordinator()) {
+        for (std::uint64_t i = lo; i <= hi; ++i) tallies_[i].resolved = true;
+      }
+      continue;
+    }
+    if (e.pos < static_cast<std::int64_t>(log_.execution_frontier())) continue;
+    const auto index = static_cast<std::uint64_t>(e.pos);
+    log_.commit(index, e.command);
+    if (is_coordinator()) {
+      committed_requests_.emplace(e.command.id, e.command);
+      tallies_[index].resolved = true;
+    }
+  }
+  execute_ready();
+  finish_rejoin();
+}
+
+void Replica::finish_rejoin() {
+  if (!catching_up_) return;
+  catching_up_ = false;
+  const Duration took = true_now() - recovery_started_at_;
+  persistor_.note_rejoin(took);
+  if (obs_sink().tracing()) {
+    obs_sink().record(obs::TraceEvent{.at = true_now(),
+                                      .kind = obs::EventKind::kRecoveryDone,
+                                      .node = id(),
+                                      .value = took.nanos()});
   }
 }
 

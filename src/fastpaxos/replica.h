@@ -25,6 +25,7 @@
 #include "fastpaxos/messages.h"
 #include "log/index_log.h"
 #include "measure/quorum.h"
+#include "recovery/durable.h"
 #include "rpc/node.h"
 #include "statemachine/kvstore.h"
 
@@ -39,6 +40,18 @@ class Replica : public rpc::Node {
           sim::LocalClock clock = sim::LocalClock{});
 
   void set_execute_hook(ExecuteHook hook) { exec_hook_ = std::move(hook); }
+
+  /// Bind simulated durable storage: ballot-0 acceptances and commit
+  /// decisions are persisted before the notices/commits that externalize
+  /// them, and the replica survives an amnesiac restart().
+  void enable_durability(recovery::DurableStore& store);
+
+  /// Amnesiac restart: wipe volatile state, replay the durable image, and
+  /// catch up from live peers. A restarted coordinator additionally arms
+  /// recovery timers for undecided indices whose tallies died with it.
+  void restart();
+
+  [[nodiscard]] bool catching_up() const { return catching_up_; }
 
   [[nodiscard]] bool is_coordinator() const { return coordinator_ == id(); }
   [[nodiscard]] const log::IndexLog& log() const { return log_; }
@@ -64,6 +77,11 @@ class Replica : public rpc::Node {
                      bool was_fast);
   void repropose_losers(std::uint64_t index, const std::optional<RequestId>& winner);
 
+  void handle_catchup_request(NodeId from, const wire::Payload& payload);
+  void handle_catchup_reply(const wire::Payload& payload);
+  void send_catchup_requests();
+  void finish_rejoin();
+
   void execute_ready();
 
   std::vector<NodeId> replicas_;
@@ -72,6 +90,11 @@ class Replica : public rpc::Node {
   log::IndexLog log_;
   sm::KvStore store_;
   ExecuteHook exec_hook_;
+
+  // Crash recovery.
+  recovery::Persistor persistor_;
+  bool catching_up_ = false;
+  TimePoint recovery_started_at_ = TimePoint::epoch();
 
   // Acceptor state: where each request was assigned locally.
   std::unordered_map<RequestId, std::uint64_t> assignment_;

@@ -76,6 +76,25 @@ std::string RunReport::to_json(bool include_trace) const {
   append_u(out, packets_sent);
   out += ",\n\"bytes_sent\":";
   append_u(out, bytes_sent);
+  out += ",\n\"recovery\":{\"restarts\":";
+  append_u(out, recovery.restarts);
+  out += ",\"persisted_records\":";
+  append_u(out, recovery.persisted_records);
+  out += ",\"persisted_bytes\":";
+  append_u(out, recovery.persisted_bytes);
+  out += ",\"replayed_records\":";
+  append_u(out, recovery.replayed_records);
+  out += ",\"replayed_bytes\":";
+  append_u(out, recovery.replayed_bytes);
+  out += ",\"catchup_installs\":";
+  append_u(out, recovery.catchup_installs);
+  out += ",\"catchup_bytes\":";
+  append_u(out, recovery.catchup_bytes);
+  out += ",\"rejoin_ns_total\":";
+  append_i(out, recovery.rejoin_ns_total);
+  out += ",\"downtime_ns\":";
+  append_i(out, recovery_downtime_ns);
+  out += "}";
   out += ",\n\"latency\":{\"commit_ms\":";
   append_latency_stats(out, latency.commit_ms);
   out += ",\"exec_ms\":";
@@ -195,6 +214,8 @@ RunReport make_report(Protocol protocol, const Scenario& scenario, const RunResu
   r.slow_path = result.slow_path;
   r.packets_sent = result.packets_sent;
   r.bytes_sent = result.bytes_sent;
+  r.recovery = result.recovery;
+  r.recovery_downtime_ns = result.recovery_downtime_ns;
   r.latency = result.latency;
   r.metrics = result.metrics;
   r.trace = result.trace;

@@ -27,6 +27,9 @@ struct RunReport {
   std::uint64_t slow_path = 0;
   std::uint64_t packets_sent = 0;
   std::uint64_t bytes_sent = 0;
+  /// Crash-recovery accounting (all zero on runs without durability).
+  recovery::RecoveryStats recovery;
+  std::int64_t recovery_downtime_ns = 0;
 
   LatencySummary latency;
 

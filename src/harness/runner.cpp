@@ -1,7 +1,9 @@
 #include "harness/runner.h"
 
+#include <functional>
 #include <memory>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "common/rng.h"
 #include "core/replica.h"
@@ -63,7 +65,8 @@ struct Env {
         clock_rng(s.seed ^ 0x5DEECE66Dull),
         window_start(TimePoint::epoch() + s.warmup),
         window_end(window_start + s.measure),
-        collector(window_start, window_end, s.client_dcs.size()) {
+        collector(window_start, window_end, s.client_dcs.size()),
+        durable(recovery::DurableConfig{s.sync_latency}) {
     if (s.replica_dcs.empty()) throw std::invalid_argument("Scenario: no replicas");
     if (s.leader_index >= s.replica_dcs.size()) {
       throw std::invalid_argument("Scenario: bad leader index");
@@ -83,6 +86,40 @@ struct Env {
       const obs::Sink sink{metrics.get(), trace.get(), spans.get(), predict.get()};
       simulator.bind_obs(sink);
       network.bind_obs(sink);  // nodes pick the sink up at construction
+      durable.bind_obs(sink);
+    }
+    for (const std::size_t idx : s.weakened_replicas) {
+      if (idx >= s.replica_dcs.size()) {
+        throw std::invalid_argument("Scenario: bad weakened replica index");
+      }
+      durable.weaken(replica_id(idx));
+    }
+    if (s.amnesia_crashes) {
+      // Dispatch every scheduled recover through the restart table: the
+      // recover hook (FIFO channel reset) has already run when this fires.
+      network.set_restart_hook([this](NodeId node) {
+        const auto it = restarters.find(node);
+        if (it != restarters.end()) it->second();
+      });
+    }
+  }
+
+  /// Durability is on whenever anything needs the store: amnesiac crashes,
+  /// a non-zero sync latency, or a deliberately weakened log.
+  [[nodiscard]] bool durability() const {
+    return scenario.amnesia_crashes || scenario.sync_latency > Duration::zero() ||
+           !scenario.weakened_replicas.empty();
+  }
+
+  /// Bind `replica` to the durable store and register its amnesiac-restart
+  /// action. Call before moving the owning unique_ptr into the vector is
+  /// fine — the pointee address is stable.
+  template <typename ReplicaT>
+  void enable_recovery(ReplicaT& replica, NodeId id) {
+    if (!durability()) return;
+    replica.enable_durability(durable);
+    if (scenario.amnesia_crashes) {
+      restarters[id] = [r = &replica] { r->restart(); };
     }
   }
 
@@ -113,6 +150,10 @@ struct Env {
       if (scenario.client_request_timeout > Duration::zero()) {
         client->set_request_timeout(scenario.client_request_timeout,
                                     scenario.client_max_retries);
+        client->set_retry_backoff(scenario.client_backoff_multiplier,
+                                  scenario.client_backoff_cap,
+                                  scenario.client_backoff_jitter,
+                                  scenario.seed * 40503 + i);
       }
       client->set_send_hook([this, i](const RequestId& id, TimePoint at) {
         collector.on_send(i, id, at);
@@ -152,6 +193,8 @@ struct Env {
     result.drops_partition = network.packets_dropped(net::DropReason::kPartition);
     result.fault_digest = network.fault().digest();
     result.fault_transitions = network.fault().transitions();
+    result.recovery = durable.aggregate();
+    result.recovery_downtime_ns = network.fault().total_downtime().nanos();
     result.measure_window = scenario.measure;
     result.latency = collector.summarize();
     result.metrics = metrics;
@@ -203,6 +246,8 @@ struct Env {
   TimePoint window_end;
   LatencyCollector collector;
   std::vector<std::unique_ptr<sm::WorkloadGenerator>> workloads;
+  recovery::DurableStore durable;  // outlives replicas (impl-function locals)
+  std::unordered_map<NodeId, std::function<void()>> restarters;
 };
 
 RunResult run_multipaxos_impl(const Scenario& s) {
@@ -218,6 +263,7 @@ RunResult run_multipaxos_impl(const Scenario& s) {
     auto r = std::make_unique<paxos::Replica>(rids[i], s.replica_dcs[i], env.network, rids,
                                               leader, env.next_clock());
     r->attach();
+    env.enable_recovery(*r, rids[i]);
     env.apply_capacity(rids[i], true);
     r->set_execute_hook([&env](const RequestId& id, TimePoint at) {
       env.collector.on_execute(id, at);
@@ -251,6 +297,7 @@ RunResult run_mencius_impl(const Scenario& s) {
     auto r = std::make_unique<mencius::Replica>(rids[i], s.replica_dcs[i], env.network, rids,
                                                 milliseconds(10), env.next_clock());
     r->attach();
+    env.enable_recovery(*r, rids[i]);
     r->start();
     env.apply_capacity(rids[i], true);
     r->set_execute_hook([&env](const RequestId& id, TimePoint at) {
@@ -287,6 +334,7 @@ RunResult run_epaxos_impl(const Scenario& s) {
     auto r = std::make_unique<epaxos::Replica>(rids[i], s.replica_dcs[i], env.network, rids,
                                                env.next_clock());
     r->attach();
+    env.enable_recovery(*r, rids[i]);
     env.apply_capacity(rids[i], true);
     r->set_execute_hook([&env](const RequestId& id, TimePoint at) {
       env.collector.on_execute(id, at);
@@ -327,6 +375,7 @@ RunResult run_fastpaxos_impl(const Scenario& s) {
                                                   rids, coordinator, milliseconds(500),
                                                   env.next_clock());
     r->attach();
+    env.enable_recovery(*r, rids[i]);
     env.apply_capacity(rids[i], true);
     r->set_execute_hook([&env](const RequestId& id, TimePoint at) {
       env.collector.on_execute(id, at);
@@ -370,6 +419,7 @@ RunResult run_domino_impl(const Scenario& s) {
     auto r = std::make_unique<core::Replica>(rids[i], s.replica_dcs[i], env.network, rids,
                                              coordinator, rc, env.next_clock());
     r->attach();
+    env.enable_recovery(*r, rids[i]);
     r->start();
     env.apply_capacity(rids[i], true);
     r->set_execute_hook([&env](const RequestId& id, TimePoint at) {

@@ -23,6 +23,7 @@
 #include "obs/metrics.h"
 #include "obs/predict.h"
 #include "obs/trace.h"
+#include "recovery/durable.h"
 #include "statemachine/workload.h"
 
 namespace domino::harness {
@@ -99,6 +100,30 @@ struct Scenario {
   /// client_max_retries times before abandoning the request.
   Duration client_request_timeout = Duration::zero();
   std::size_t client_max_retries = 3;
+  /// Deterministic exponential retry backoff (rpc::ClientBase): the wait
+  /// before retry k is min(timeout * multiplier^(k-1), cap) * (1+jitter*u)
+  /// with u from a per-client seeded stream. multiplier 1 and jitter 0 (the
+  /// defaults) reproduce the legacy fixed retry interval.
+  double client_backoff_multiplier = 1.0;
+  Duration client_backoff_cap = Duration::zero();  // zero = uncapped
+  double client_backoff_jitter = 0.0;
+
+  // Crash-recovery knobs (amnesia runs).
+  /// When true, every FaultEvent::kRecover wipes the recovered replica's
+  /// volatile state through the network restart hook; the replica replays
+  /// its durable image and catches up from live peers before re-entering
+  /// quorums. When false, crashes only drop packets and a recovered node
+  /// keeps its memory (the pre-durability fault model).
+  bool amnesia_crashes = false;
+  /// Simulated latency of one durable sync. Non-zero puts persistence on
+  /// the protocol critical path (promises/acks/commit notices wait for it)
+  /// even on fault-free runs. Durability is enabled whenever this is
+  /// non-zero, amnesia_crashes is set, or weakened_replicas is non-empty.
+  Duration sync_latency = Duration::zero();
+  /// Negative-test knob: indices (into replica_dcs) of replicas whose
+  /// durable log silently drops appends — the model of a forgotten fsync.
+  /// The chaos consistency checker must flag the resulting lost commits.
+  std::vector<std::size_t> weakened_replicas;
 };
 
 struct RunResult {
@@ -139,6 +164,12 @@ struct RunResult {
   /// compare the fingerprints of the live majority.
   std::vector<std::uint64_t> replica_store_fingerprints;
   std::vector<std::uint64_t> replica_applied_counts;
+  /// Crash-recovery accounting summed over all replicas (the recovery.*
+  /// metrics); all zero unless durability was enabled (see
+  /// Scenario::amnesia_crashes / sync_latency / weakened_replicas).
+  recovery::RecoveryStats recovery;
+  /// Total crashed time over completed crash->recover pairs.
+  std::int64_t recovery_downtime_ns = 0;
 
   /// Committed requests per second of measurement window.
   [[nodiscard]] double throughput_rps() const;

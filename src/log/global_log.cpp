@@ -156,6 +156,24 @@ std::vector<std::pair<LogPosition, sm::Command>> GlobalLog::drain_executable() {
   return out;
 }
 
+void GlobalLog::fast_forward(LogPosition frontier) {
+  for (std::uint32_t lane_idx = 0; lane_idx < lanes_.size(); ++lane_idx) {
+    Lane& lane = lanes_[lane_idx];
+    // Positions strictly before `frontier` in global (ts, lane) order: on
+    // lanes left of the frontier lane that includes ts == frontier.ts.
+    const std::int64_t cut =
+        lane_idx < frontier.lane
+            ? (frontier.ts == std::numeric_limits<std::int64_t>::max() ? frontier.ts
+                                                                       : frontier.ts + 1)
+            : frontier.ts;
+    if (cut <= lane.resolved_below) continue;
+    lane.entries.erase(lane.entries.begin(), lane.entries.lower_bound(cut));
+    lane.resolved_below = cut;
+    lane.watermark = std::max(lane.watermark, cut);
+    lane.committed_hint = std::max(lane.committed_hint, cut - 1);
+  }
+}
+
 std::vector<GlobalLog::RangeEntry> GlobalLog::entries_in_range(std::uint32_t lane,
                                                                std::int64_t lo,
                                                                std::int64_t hi) const {
@@ -168,6 +186,22 @@ std::vector<GlobalLog::RangeEntry> GlobalLog::entries_in_range(std::uint32_t lan
     out.push_back(RangeEntry{it->first, e.command,
                              e.status == Status::kCommitted || e.status == Status::kExecuted});
   }
+  return out;
+}
+
+std::vector<GlobalLog::ResolvedEntry> GlobalLog::resolved_unexecuted() const {
+  std::vector<ResolvedEntry> out;
+  for (std::uint32_t lane_idx = 0; lane_idx < lanes_.size(); ++lane_idx) {
+    for (const auto& [ts, e] : lanes_[lane_idx].entries) {
+      if (e.status == Status::kCommitted) {
+        out.push_back(ResolvedEntry{LogPosition{ts, lane_idx}, e.command, false});
+      } else if (e.status == Status::kAbortedNoop) {
+        out.push_back(ResolvedEntry{LogPosition{ts, lane_idx}, {}, true});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ResolvedEntry& a, const ResolvedEntry& b) { return a.pos < b.pos; });
   return out;
 }
 

@@ -78,6 +78,13 @@ class GlobalLog {
   /// Executed.
   [[nodiscard]] std::vector<std::pair<LogPosition, sm::Command>> drain_executable();
 
+  /// Jump the log past `frontier` after installing a peer's executed-state
+  /// snapshot (crash recovery): every position strictly before the global
+  /// frontier is covered by the snapshot, so local entries there are
+  /// compacted and each lane's resolved_below/watermark is raised
+  /// (monotonically) to the per-lane cut. No-op for positions not ahead.
+  void fast_forward(LogPosition frontier);
+
   /// Live (non-compacted) entries on `lane` with timestamp in [lo, hi],
   /// excluding resolved no-ops. Used by the Section 5.8 failure-recovery
   /// revocation rounds.
@@ -88,6 +95,19 @@ class GlobalLog {
   };
   [[nodiscard]] std::vector<RangeEntry> entries_in_range(std::uint32_t lane, std::int64_t lo,
                                                          std::int64_t hi) const;
+
+  /// All resolved-but-unexecuted entries across every lane, in global
+  /// (ts, lane) order: committed commands plus explicit no-op resolutions
+  /// (command empty). A catch-up responder sends these as the resolved
+  /// suffix its executed snapshot does not cover — no-ops included because
+  /// they are decided by one-shot broadcasts a recovering peer cannot
+  /// re-learn once missed (a lane watermark only covers *empty* positions).
+  struct ResolvedEntry {
+    LogPosition pos;
+    sm::Command command;  // empty for no-ops
+    bool is_noop = false;
+  };
+  [[nodiscard]] std::vector<ResolvedEntry> resolved_unexecuted() const;
 
   [[nodiscard]] std::uint64_t executed_count() const { return executed_; }
   [[nodiscard]] std::size_t pending_entries() const;

@@ -45,8 +45,27 @@ class IndexLog {
   /// and returns them in order.
   [[nodiscard]] std::vector<std::pair<std::uint64_t, sm::Command>> drain_executable();
 
+  /// All committed-but-unexecuted entries, in index order (non-destructive).
+  /// A catch-up responder sends these as the committed suffix its executed
+  /// snapshot does not cover.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, sm::Command>> committed_unexecuted()
+      const;
+
+  /// Skipped (no-op) ranges with hi >= from, clipped to start at `from`,
+  /// ascending. A catch-up responder sends these alongside
+  /// committed_unexecuted() for protocols whose no-ops are decided by
+  /// one-shot broadcasts (classic Fast Paxos) rather than re-advertised.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>> skipped_after(
+      std::uint64_t from) const;
+
   /// Index of the first position that is neither executed nor skipped.
   [[nodiscard]] std::uint64_t execution_frontier() const { return exec_frontier_; }
+
+  /// Jump the execution frontier to `frontier` after installing a peer's
+  /// executed-state snapshot (crash recovery): positions below it are
+  /// covered by the snapshot, so local entries there are dropped and the
+  /// gap is marked skipped. No-op when `frontier` is not ahead.
+  void fast_forward(std::uint64_t frontier);
 
   [[nodiscard]] std::size_t occupied_count() const { return entries_.size(); }
   [[nodiscard]] std::uint64_t executed_count() const { return executed_; }

@@ -2,10 +2,18 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 #include "mencius/messages.h"
+#include "recovery/messages.h"
 
 namespace domino::mencius {
+
+namespace {
+/// Catch-up request retransmit interval for a recovering replica.
+constexpr Duration kCatchupRetryInterval = milliseconds(100);
+}  // namespace
 
 Replica::Replica(NodeId id, std::size_t dc, net::Network& network,
                  std::vector<NodeId> replicas, Duration heartbeat_interval,
@@ -57,12 +65,25 @@ void Replica::on_packet(const net::Packet& packet) {
     case wire::MessageType::kMenciusSkip:
       handle_skip(packet.src, packet.payload);
       break;
+    case wire::MessageType::kCatchupRequest:
+      handle_catchup_request(packet.src, packet.payload);
+      break;
+    case wire::MessageType::kCatchupReply:
+      handle_catchup_reply(packet.payload);
+      break;
     default:
       break;
   }
 }
 
+void Replica::enable_durability(recovery::DurableStore& store) {
+  persistor_.bind(store, id(), [this](Duration delay, std::function<void()> fn) {
+    after(delay, std::move(fn));
+  });
+}
+
 void Replica::handle_client_request(const net::Packet& packet) {
+  if (catching_up_) return;  // not rejoined yet; the client's retry will land
   const auto req = wire::decode_message<ClientRequest>(packet.payload);
   const std::uint64_t p = next_own_index_;
   next_own_index_ = p + replicas_.size();
@@ -76,21 +97,47 @@ void Replica::handle_client_request(const net::Packet& packet) {
     quorum_spans_[p] = s;
   }
 
-  for (NodeId r : replicas_) {
-    if (r != id()) send(r, Accept{p, req.command, safe_skip_frontier(r)});
-  }
+  persistor_.persist(
+      recovery::RecordTag::kAccepted,
+      [&] {
+        wire::ByteWriter w;
+        w.varint(p);
+        req.command.encode(w);
+        w.boolean(true);  // own instance: carries the requesting client
+        w.node_id(req.command.id.client);
+        return w.take();
+      },
+      [this, p, command = req.command] {
+        for (NodeId r : replicas_) {
+          if (r != id()) send(r, Accept{p, command, safe_skip_frontier(r)});
+        }
+      });
 }
 
 void Replica::handle_accept(NodeId from, const wire::Payload& payload) {
   const auto msg = wire::decode_message<Accept>(payload);
   const std::size_t owner = owner_of(msg.index);
   apply_skip_frontier(owner, msg.skip_through);
-  log_.accept(msg.index, msg.command);
+  if (!log_.is_committed(msg.index)) log_.accept(msg.index, msg.command);
   obs_accepts_.inc();
   // Receiving a proposal for index p implicitly promises to never use our
   // own unused instances below p.
   advance_own_lane(msg.index);
-  send(from, AcceptReply{msg.index, safe_skip_frontier(from)});
+  // The AcceptReply is the externalized promise: the owner will count this
+  // instance as safely replicated here (and advance skip frontiers past it
+  // towards us), so the accept must be durable before the reply leaves.
+  persistor_.persist(
+      recovery::RecordTag::kAccepted,
+      [&] {
+        wire::ByteWriter w;
+        w.varint(msg.index);
+        msg.command.encode(w);
+        w.boolean(false);
+        return w.take();
+      },
+      [this, from, index = msg.index] {
+        send(from, AcceptReply{index, safe_skip_frontier(from)});
+      });
   execute_ready();
 }
 
@@ -115,13 +162,29 @@ void Replica::handle_accept_reply(NodeId from, const wire::Payload& payload) {
       }
       log_.commit(msg.index);
       obs_commits_.inc();
-      // The Pending entry stays until every peer CommitAcks: the owner
-      // retransmits the Commit to the stragglers from the heartbeat, so a
-      // follower that was crashed or partitioned at commit time still
-      // learns the command instead of stalling its execution frontier.
-      for (NodeId r : replicas_) {
-        if (r != id()) send(r, Commit{msg.index, it->second.command});
-      }
+      // Persist the commit decision before it is externalized — by the
+      // Commit broadcast, and by the ClientReply that owner execution (in
+      // the continuation's execute_ready) may send.
+      persistor_.persist(
+          recovery::RecordTag::kCommitted,
+          [&] {
+            wire::ByteWriter w;
+            w.varint(msg.index);
+            it->second.command.encode(w);
+            return w.take();
+          },
+          [this, index = msg.index, command = it->second.command] {
+            // The Pending entry stays until every peer CommitAcks: the owner
+            // retransmits the Commit to the stragglers from the heartbeat,
+            // so a follower that was crashed or partitioned at commit time
+            // still learns the command instead of stalling its execution
+            // frontier.
+            for (NodeId r : replicas_) {
+              if (r != id()) send(r, Commit{index, command});
+            }
+            execute_ready();
+          });
+      return;
     }
   }
   execute_ready();
@@ -133,7 +196,18 @@ void Replica::handle_commit(NodeId from, const wire::Payload& payload) {
   // (dropped while it was crashed or partitioned) still materializes the
   // entry; a hole here would stall its execution frontier forever.
   log_.commit(msg.index, msg.command);
-  send(from, CommitAck{msg.index});
+  // The CommitAck releases the owner from retransmitting this commit to us
+  // — forget it after acking and the hole is permanent — so the commit must
+  // be durable before the ack leaves.
+  persistor_.persist(
+      recovery::RecordTag::kCommitted,
+      [&] {
+        wire::ByteWriter w;
+        w.varint(msg.index);
+        msg.command.encode(w);
+        return w.take();
+      },
+      [this, from, index = msg.index] { send(from, CommitAck{index}); });
   execute_ready();
 }
 
@@ -187,6 +261,172 @@ void Replica::advance_own_lane(std::uint64_t index) {
   while (next_own_index_ < index) {
     log_.skip(next_own_index_, next_own_index_);
     next_own_index_ += replicas_.size();
+  }
+}
+
+void Replica::restart() {
+  persistor_.begin_restart();
+  for (auto& [index, span] : quorum_spans_) {
+    (void)index;
+    close_wait_span(span);
+  }
+  quorum_spans_.clear();
+  log_ = log::IndexLog{};
+  store_ = sm::KvStore{};
+  pending_.clear();
+  owned_request_.clear();
+  next_own_index_ = rank_;
+  skip_frontier_seen_.assign(replicas_.size(), 0);
+  owned_proposals_ = 0;
+  catching_up_ = true;
+  recovery_started_at_ = true_now();
+  if (obs_sink().tracing()) {
+    obs_sink().record(obs::TraceEvent{
+        .at = true_now(),
+        .kind = obs::EventKind::kRecoveryStart,
+        .node = id(),
+        .value = static_cast<std::int64_t>(persistor_.epoch())});
+  }
+
+  persistor_.replay([this](const recovery::DurableRecord& rec) {
+    wire::ByteReader r(rec.body);
+    switch (rec.tag) {
+      case recovery::RecordTag::kAccepted: {
+        const std::uint64_t index = r.varint();
+        sm::Command cmd = sm::Command::decode(r);
+        const bool own = r.boolean();
+        if (own) {
+          const NodeId client = r.node_id();
+          if (!log_.is_committed(index)) log_.accept(index, cmd);
+          pending_.insert_or_assign(index,
+                                    Pending{{}, {}, cmd, client, false, true_now()});
+          owned_request_.insert_or_assign(index, cmd.id);
+          ++owned_proposals_;
+          next_own_index_ =
+              std::max(next_own_index_, index + replicas_.size());
+        } else {
+          if (!log_.is_committed(index)) log_.accept(index, std::move(cmd));
+          // Restore the implicit own-lane promise the accept made.
+          advance_own_lane(index);
+        }
+        break;
+      }
+      case recovery::RecordTag::kCommitted: {
+        const std::uint64_t index = r.varint();
+        sm::Command cmd = sm::Command::decode(r);
+        log_.commit(index, std::move(cmd));
+        if (owner_of(index) == rank_) {
+          const auto it = pending_.find(index);
+          if (it != pending_.end()) {
+            it->second.committed = true;
+            it->second.acked.clear();
+            it->second.commit_acked.clear();
+          }
+        } else {
+          advance_own_lane(index);
+        }
+        break;
+      }
+      default:
+        break;  // Mencius writes no other tags
+    }
+  });
+  execute_ready();
+
+  // All quorum/ack tallies died with the crash: immediately re-send every
+  // pending own instance (Accept if uncommitted, Commit otherwise). Peers
+  // re-ack idempotently; without this the execution frontiers of the whole
+  // cluster could stall on an orphaned instance for a retransmit period.
+  for (auto& [index, p] : pending_) {
+    p.last_sent = true_now();
+    for (NodeId r : replicas_) {
+      if (r == id()) continue;
+      if (p.committed) {
+        send(r, Commit{index, p.command});
+      } else {
+        send(r, Accept{index, p.command, safe_skip_frontier(r)});
+      }
+    }
+  }
+  send_catchup_requests();
+}
+
+void Replica::send_catchup_requests() {
+  if (!catching_up_) return;
+  if (replicas_.size() <= 1) {
+    finish_rejoin();
+    return;
+  }
+  const recovery::CatchupRequest req{persistor_.epoch(), store_.applied_count()};
+  for (NodeId r : replicas_) {
+    if (r != id()) send(r, req);
+  }
+  after(kCatchupRetryInterval, [this, epoch = persistor_.epoch()] {
+    if (catching_up_ && epoch == persistor_.epoch()) send_catchup_requests();
+  });
+}
+
+void Replica::handle_catchup_request(NodeId from, const wire::Payload& payload) {
+  // Always served, even mid-catch-up, so simultaneous recoveries converge.
+  const auto req = wire::decode_message<recovery::CatchupRequest>(payload);
+  recovery::CatchupReply reply;
+  reply.epoch = req.epoch;
+  reply.applied = store_.applied_count();
+  reply.frontier = static_cast<std::int64_t>(log_.execution_frontier());
+  reply.snapshot.reserve(store_.items().size());
+  for (const auto& [key, value] : store_.items()) {
+    reply.snapshot.push_back(recovery::KvEntry{key, value});
+  }
+  for (auto& [index, command] : log_.committed_unexecuted()) {
+    reply.entries.push_back(recovery::CatchupEntry{
+        static_cast<std::int64_t>(index), 0, std::move(command), {}});
+  }
+  send(from, reply);
+}
+
+void Replica::handle_catchup_reply(const wire::Payload& payload) {
+  const auto msg = wire::decode_message<recovery::CatchupReply>(payload);
+  if (msg.epoch != persistor_.epoch()) return;  // reply to an older incarnation
+  if (msg.frontier > static_cast<std::int64_t>(log_.execution_frontier())) {
+    std::unordered_map<std::string, std::string> items;
+    items.reserve(msg.snapshot.size());
+    for (const auto& e : msg.snapshot) items.emplace(e.key, e.value);
+    store_.install_snapshot(std::move(items), msg.applied);
+    log_.fast_forward(static_cast<std::uint64_t>(msg.frontier));
+    next_own_index_ = std::max(
+        next_own_index_,
+        next_owned_at_or_after(rank_, static_cast<std::uint64_t>(msg.frontier)));
+    persistor_.note_catchup_install(payload.size(), true_now() - recovery_started_at_);
+    // Own instances the snapshot covers were executed cluster-wide: their
+    // clients can be answered now; log execution will never reach them.
+    for (auto it = owned_request_.begin(); it != owned_request_.end();) {
+      if (it->first < static_cast<std::uint64_t>(msg.frontier)) {
+        send(it->second.client, ClientReply{it->second});
+        pending_.erase(it->first);
+        it = owned_request_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& e : msg.entries) {
+    if (e.pos < static_cast<std::int64_t>(log_.execution_frontier())) continue;
+    log_.commit(static_cast<std::uint64_t>(e.pos), e.command);
+  }
+  execute_ready();
+  finish_rejoin();
+}
+
+void Replica::finish_rejoin() {
+  if (!catching_up_) return;
+  catching_up_ = false;
+  const Duration took = true_now() - recovery_started_at_;
+  persistor_.note_rejoin(took);
+  if (obs_sink().tracing()) {
+    obs_sink().record(obs::TraceEvent{.at = true_now(),
+                                      .kind = obs::EventKind::kRecoveryDone,
+                                      .node = id(),
+                                      .value = took.nanos()});
   }
 }
 

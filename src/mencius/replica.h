@@ -17,6 +17,7 @@
 
 #include "log/index_log.h"
 #include "measure/quorum.h"
+#include "recovery/durable.h"
 #include "rpc/node.h"
 #include "statemachine/kvstore.h"
 
@@ -34,6 +35,18 @@ class Replica : public rpc::Node {
   void start();
 
   void set_execute_hook(ExecuteHook hook) { exec_hook_ = std::move(hook); }
+
+  /// Bind simulated durable storage: promises (accepts, commit knowledge)
+  /// are persisted before the replies that externalize them, and the
+  /// replica survives an amnesiac restart().
+  void enable_durability(recovery::DurableStore& store);
+
+  /// Amnesiac restart: wipe volatile state, replay the durable image
+  /// (rebuilding the own-lane reservation and pending retransmission
+  /// state), and catch up from live peers.
+  void restart();
+
+  [[nodiscard]] bool catching_up() const { return catching_up_; }
 
   [[nodiscard]] std::size_t rank() const { return rank_; }
   [[nodiscard]] const log::IndexLog& log() const { return log_; }
@@ -57,6 +70,10 @@ class Replica : public rpc::Node {
   void handle_commit(NodeId from, const wire::Payload& payload);
   void handle_commit_ack(NodeId from, const wire::Payload& payload);
   void handle_skip(NodeId from, const wire::Payload& payload);
+  void handle_catchup_request(NodeId from, const wire::Payload& payload);
+  void handle_catchup_reply(const wire::Payload& payload);
+  void send_catchup_requests();
+  void finish_rejoin();
 
   /// The largest own-lane frontier that is safe to advertise to `peer`:
   /// every used owned instance below it has been acknowledged by that peer
@@ -92,6 +109,11 @@ class Replica : public rpc::Node {
 
   std::uint64_t next_own_index_ = 0;  // smallest unused owned instance
   std::vector<std::uint64_t> skip_frontier_seen_;  // per owner rank
+
+  // Crash recovery.
+  recovery::Persistor persistor_;
+  bool catching_up_ = false;
+  TimePoint recovery_started_at_ = TimePoint::epoch();
 
   // Owner-side pending instances: index -> (ack set, origin client). The
   // ack set (rather than a count) makes Accept retransmission safe: a

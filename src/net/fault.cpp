@@ -122,6 +122,7 @@ FaultInjector::FaultInjector(sim::Simulator& simulator, std::size_t num_dcs,
 void FaultInjector::bind_obs(const obs::Sink& sink) {
   obs_ = sink;
   obs_faults_applied_ = sink.counter("fault.transitions");
+  obs_downtime_ns_ = sink.histogram("recovery.downtime_ns");
   for (std::size_t r = 1; r < kDropReasonCount; ++r) {
     obs_drop_reason_[r] = sink.counter(
         std::string("net.drops.") + drop_reason_name(static_cast<DropReason>(r)));
@@ -182,6 +183,7 @@ void FaultInjector::install(const FaultSchedule& schedule) {
 
 void FaultInjector::crash(NodeId node) {
   if (!crashed_.insert(node).second) return;
+  crashed_at_[node] = sim_.now();
   ++transitions_;
   obs_faults_applied_.inc();
   mix(0x01);
@@ -200,11 +202,21 @@ void FaultInjector::recover(NodeId node) {
   mix(0x02);
   mix(static_cast<std::uint64_t>(sim_.now().nanos()));
   mix(node.value());
+  if (const auto it = crashed_at_.find(node); it != crashed_at_.end()) {
+    const Duration downtime = sim_.now() - it->second;
+    total_downtime_ += downtime;
+    obs_downtime_ns_.record(downtime);
+    crashed_at_.erase(it);
+  }
   if (obs_.tracing()) {
     obs_.record(obs::TraceEvent{
         .at = sim_.now(), .kind = obs::EventKind::kNodeRecover, .node = node});
   }
   if (recover_hook_) recover_hook_(node);
+  // Restart (amnesia) runs after the transport forgot the node's channel
+  // state, so nothing the wiped replica sends is ordered behind pre-crash
+  // deliveries.
+  if (restart_hook_) restart_hook_(node);
 }
 
 void FaultInjector::partition(std::size_t from_dc, std::size_t to_dc) {

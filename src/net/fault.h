@@ -20,6 +20,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -135,6 +136,14 @@ class FaultInjector {
     recover_hook_ = std::move(hook);
   }
 
+  /// Invoked after the recover hook on every recover. The harness uses this
+  /// to model amnesiac crashes: the hook wipes the recovered replica's
+  /// volatile state, triggering durable-image replay and peer catch-up.
+  /// Unset = crashes keep memory (the pre-recovery fault model).
+  void set_restart_hook(std::function<void(NodeId)> hook) {
+    restart_hook_ = std::move(hook);
+  }
+
   [[nodiscard]] bool is_crashed(NodeId node) const { return crashed_.contains(node); }
   [[nodiscard]] bool is_partitioned(std::size_t from_dc, std::size_t to_dc) const;
 
@@ -168,6 +177,10 @@ class FaultInjector {
   /// Fault transitions applied so far (for tests; drops excluded).
   [[nodiscard]] std::uint64_t transitions() const { return transitions_; }
 
+  /// Total crashed time over all completed crash->recover pairs, for the
+  /// recovery accounting (recovery.downtime_ns records each one).
+  [[nodiscard]] Duration total_downtime() const { return total_downtime_; }
+
  private:
   struct Degradation {
     double multiplier = 1.0;
@@ -187,11 +200,14 @@ class FaultInjector {
   sim::Simulator& sim_;
   std::size_t num_dcs_;
   std::unordered_set<NodeId> crashed_;
+  std::unordered_map<NodeId, TimePoint> crashed_at_;  // downtime accounting
+  Duration total_downtime_ = Duration::zero();
   std::vector<bool> partitioned_;                       // [from*n+to]
   std::vector<Degradation> degraded_;                   // [from*n+to]
   std::vector<std::optional<Duration>> route_base_;     // [from*n+to]
   std::vector<Rng> spike_rngs_;                         // [from*n+to]
   std::function<void(NodeId)> recover_hook_;
+  std::function<void(NodeId)> restart_hook_;
 
   std::uint64_t drops_[kDropReasonCount] = {0, 0, 0, 0};
   std::uint64_t digest_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
@@ -200,6 +216,7 @@ class FaultInjector {
   obs::Sink obs_;
   obs::CounterHandle obs_drop_reason_[kDropReasonCount];
   obs::CounterHandle obs_faults_applied_;
+  obs::HistogramHandle obs_downtime_ns_;
 };
 
 }  // namespace domino::net

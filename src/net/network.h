@@ -85,6 +85,13 @@ class Network {
   /// used by harness::Scenario).
   void install_faults(const FaultSchedule& schedule) { fault_.install(schedule); }
 
+  /// Amnesiac-restart hook: runs on every recover, after the FIFO channel
+  /// reset. The harness wipes the recovered replica's volatile state here
+  /// so it must replay its durable image and catch up from peers.
+  void set_restart_hook(std::function<void(NodeId)> hook) {
+    fault_.set_restart_hook(std::move(hook));
+  }
+
   // Traffic statistics.
   [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }

@@ -35,7 +35,9 @@ bool node_scoped(EventKind k) {
     case EventKind::kNodeCrash:
     case EventKind::kNodeRecover:
     case EventKind::kClientRetry:
-    case EventKind::kClientAbandon: return true;
+    case EventKind::kClientAbandon:
+    case EventKind::kRecoveryStart:
+    case EventKind::kRecoveryDone: return true;
     default: return false;
   }
 }
@@ -50,7 +52,9 @@ bool fault_kind(EventKind k) {
     case EventKind::kLinkRestore:
     case EventKind::kRouteChange:
     case EventKind::kClientRetry:
-    case EventKind::kClientAbandon: return true;
+    case EventKind::kClientAbandon:
+    case EventKind::kRecoveryStart:
+    case EventKind::kRecoveryDone: return true;
     default: return false;
   }
 }
@@ -126,6 +130,19 @@ std::string chrome_trace_json(const SpanStore* spans, const TraceRecorder* trace
     for (const TraceEvent& e : trace->snapshot()) {
       if (!fault_kind(e.kind)) continue;
       sep();
+      if (e.kind == EventKind::kRecoveryDone) {
+        // The rejoin event carries the whole recovery duration; render it as
+        // a complete ("X") slice ending at the event, on the node's lane.
+        append_f(out,
+                 "{\"name\":\"recovery\",\"cat\":\"recovery\",\"ph\":\"X\","
+                 "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%lu,"
+                 "\"args\":{\"rejoin_ns\":%lld}}",
+                 us(e.at) - static_cast<double>(e.value) / 1e3,
+                 static_cast<double>(e.value) / 1e3,
+                 static_cast<unsigned long>(e.node.value()),
+                 static_cast<long long>(e.value));
+        continue;
+      }
       if (node_scoped(e.kind)) {
         append_f(out,
                  "{\"name\":\"%s\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\","

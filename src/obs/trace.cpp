@@ -25,6 +25,8 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kRouteChange: return "route_change";
     case EventKind::kClientRetry: return "client_retry";
     case EventKind::kClientAbandon: return "client_abandon";
+    case EventKind::kRecoveryStart: return "recovery_start";
+    case EventKind::kRecoveryDone: return "recovery_done";
   }
   return "?";
 }

@@ -37,6 +37,8 @@ enum class EventKind : std::uint8_t {
   kRouteChange,          // permanent base-delay change (value = new base ns)
   kClientRetry,          // client re-proposed a timed-out request
   kClientAbandon,        // client gave up on a request (retries exhausted)
+  kRecoveryStart,        // amnesiac restart began (value = restart epoch)
+  kRecoveryDone,         // replica rejoined after catch-up (value = ns spent)
 };
 
 [[nodiscard]] const char* event_kind_name(EventKind kind);

@@ -14,6 +14,7 @@
 #include "log/index_log.h"
 #include "measure/prober.h"
 #include "measure/quorum.h"
+#include "recovery/durable.h"
 #include "rpc/node.h"
 #include "statemachine/kvstore.h"
 
@@ -30,6 +31,18 @@ class Replica : public rpc::Node {
 
   void set_execute_hook(ExecuteHook hook) { exec_hook_ = std::move(hook); }
 
+  /// Bind simulated durable storage: from now on the replica persists its
+  /// promises before externalizing them (persist-before-send, paying the
+  /// store's sync latency) and can survive an amnesiac restart().
+  void enable_durability(recovery::DurableStore& store);
+
+  /// Amnesiac restart (the fault injector's restart hook): wipe all
+  /// volatile state, replay the durable image, re-propose uncommitted
+  /// leader entries, and catch up from live peers before serving clients.
+  void restart();
+
+  [[nodiscard]] bool catching_up() const { return catching_up_; }
+
   [[nodiscard]] bool is_leader() const { return leader_ == id(); }
   [[nodiscard]] NodeId leader() const { return leader_; }
   [[nodiscard]] const log::IndexLog& log() const { return log_; }
@@ -44,6 +57,10 @@ class Replica : public rpc::Node {
   void handle_accept(NodeId from, const wire::Payload& payload);
   void handle_accept_reply(const wire::Payload& payload);
   void handle_commit(const wire::Payload& payload);
+  void handle_catchup_request(NodeId from, const wire::Payload& payload);
+  void handle_catchup_reply(const wire::Payload& payload);
+  void send_catchup_requests();
+  void finish_rejoin();
   void execute_ready();
 
   std::vector<NodeId> replicas_;
@@ -51,6 +68,11 @@ class Replica : public rpc::Node {
   log::IndexLog log_;
   sm::KvStore store_;
   ExecuteHook exec_hook_;
+
+  // Crash recovery.
+  recovery::Persistor persistor_;
+  bool catching_up_ = false;
+  TimePoint recovery_started_at_ = TimePoint::epoch();
 
   // Leader state.
   std::uint64_t next_index_ = 0;

@@ -30,6 +30,16 @@ class KvStore {
   /// The chaos harness compares replica fingerprints for convergence.
   [[nodiscard]] std::uint64_t fingerprint() const;
 
+  /// Replace the entire contents with a peer's executed-state snapshot
+  /// (crash recovery catch-up). `applied` is the peer's applied-command
+  /// count at snapshot time, adopted so applied_count() stays comparable
+  /// across replicas after an amnesiac restart.
+  void install_snapshot(std::unordered_map<std::string, std::string> items,
+                        std::uint64_t applied) {
+    data_ = std::move(items);
+    applied_ = applied;
+  }
+
  private:
   std::unordered_map<std::string, std::string> data_;
   std::uint64_t applied_ = 0;

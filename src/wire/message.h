@@ -80,6 +80,10 @@ enum class MessageType : std::uint16_t {
   kDfpRangeRecover = 73,
   kDfpRangeReply = 74,
   kDfpRangeResolve = 75,
+
+  // Crash recovery (src/recovery): peer catch-up after an amnesiac restart
+  kCatchupRequest = 76,
+  kCatchupReply = 77,
 };
 
 /// Stable human-readable name of a message type (metric names, trace
@@ -138,6 +142,8 @@ enum class MessageType : std::uint16_t {
     case MessageType::kDfpRangeRecover: return "DfpRangeRecover";
     case MessageType::kDfpRangeReply: return "DfpRangeReply";
     case MessageType::kDfpRangeResolve: return "DfpRangeResolve";
+    case MessageType::kCatchupRequest: return "CatchupRequest";
+    case MessageType::kCatchupReply: return "CatchupReply";
   }
   return "Unknown";
 }

@@ -274,6 +274,128 @@ TEST(FaultInjector, DegradationSpikesComeFromTheInjectorSeed) {
   EXPECT_EQ(a1.deliveries, a2.deliveries);
 }
 
+// Overlapping crash_for windows: crash(10..20) and crash(15..25) on the same
+// node. The second crash hits an already-down node (no-op), so the FIRST
+// recover at 20 ms brings the node back even though the second window claims
+// downtime until 25 ms; the second recover is then a no-op too. Exactly one
+// crash->recover pair is accounted.
+TEST(FaultInjector, OverlappingCrashWindowsRecoverAtFirstDeadline) {
+  Fixture f;
+  f.add_node(NodeId{0}, 0);
+  f.add_node(NodeId{1}, 1);
+
+  FaultSchedule s;
+  s.crash_for(f.at(10), NodeId{1}, milliseconds(10))
+      .crash_for(f.at(15), NodeId{1}, milliseconds(10));
+  f.network.install_faults(s);
+
+  f.simulator.schedule_at(f.at(17), [&f] {
+    EXPECT_TRUE(f.network.is_crashed(NodeId{1}));
+  });
+  f.simulator.schedule_at(f.at(22), [&f] {
+    // First window's recover already fired; the overlap does not extend it.
+    EXPECT_FALSE(f.network.is_crashed(NodeId{1}));
+    f.network.send(NodeId{0}, NodeId{1}, payload_of(1));  // delivered
+  });
+  f.simulator.run();
+
+  ASSERT_EQ(f.delivered.size(), 1u);
+  // One real crash + one real recover; the duplicated pair was a no-op.
+  EXPECT_EQ(f.network.fault().transitions(), 2u);
+  EXPECT_EQ(f.network.fault().total_downtime(), milliseconds(10));
+}
+
+// Same-instant events apply in insertion order (stable sort). A recover
+// appended BEFORE a crash at the same timestamp is a no-op (the node is
+// still up when it applies), so the node ends the instant crashed.
+TEST(FaultInjector, SameInstantRecoverBeforeCrashLeavesNodeDown) {
+  Fixture f;
+  f.add_node(NodeId{0}, 0);
+  f.add_node(NodeId{1}, 1);
+
+  FaultSchedule s;
+  s.recover(f.at(10), NodeId{1}).crash(f.at(10), NodeId{1});
+  f.network.install_faults(s);
+
+  f.simulator.schedule_at(f.at(11), [&f] {
+    EXPECT_TRUE(f.network.is_crashed(NodeId{1}));
+  });
+  f.simulator.run();
+  EXPECT_TRUE(f.network.is_crashed(NodeId{1}));
+  EXPECT_EQ(f.network.fault().transitions(), 1u);  // only the crash applied
+}
+
+// ...and the opposite insertion order at the same instant: crash then
+// recover leaves the node up, having completed a zero-downtime bounce.
+TEST(FaultInjector, SameInstantCrashThenRecoverLeavesNodeUp) {
+  Fixture f;
+  f.add_node(NodeId{0}, 0);
+  f.add_node(NodeId{1}, 1);
+
+  FaultSchedule s;
+  s.crash(f.at(10), NodeId{1}).recover(f.at(10), NodeId{1});
+  f.network.install_faults(s);
+  f.simulator.run();
+
+  EXPECT_FALSE(f.network.is_crashed(NodeId{1}));
+  EXPECT_EQ(f.network.fault().transitions(), 2u);  // both applied, in order
+  EXPECT_EQ(f.network.fault().total_downtime(), Duration::zero());
+}
+
+// Immediate-API idempotence: crashing an already-crashed node and
+// recovering an already-live node are silent no-ops — no transition is
+// counted, no digest perturbation, and hooks do not fire.
+TEST(FaultInjector, DoubleCrashAndDoubleRecoverAreNoOps) {
+  Fixture f;
+  f.add_node(NodeId{0}, 0);
+  f.add_node(NodeId{1}, 1);
+
+  int restarts = 0;
+  f.network.set_restart_hook([&restarts](NodeId) { ++restarts; });
+
+  f.network.crash(NodeId{1});
+  const std::uint64_t digest_after_crash = f.network.fault().digest();
+  f.network.crash(NodeId{1});  // no-op
+  EXPECT_EQ(f.network.fault().transitions(), 1u);
+  EXPECT_EQ(f.network.fault().digest(), digest_after_crash);
+
+  f.network.recover(NodeId{1});
+  EXPECT_EQ(restarts, 1);
+  const std::uint64_t digest_after_recover = f.network.fault().digest();
+  f.network.recover(NodeId{1});  // no-op: hook must not fire again
+  EXPECT_EQ(f.network.fault().transitions(), 2u);
+  EXPECT_EQ(f.network.fault().digest(), digest_after_recover);
+  EXPECT_EQ(restarts, 1);
+}
+
+// The restart (amnesia) hook fires once per real crash->recover pair, at
+// recovery time, and only for the recovered node.
+TEST(FaultInjector, RestartHookFiresOncePerRealRecovery) {
+  Fixture f;
+  f.add_node(NodeId{0}, 0);
+  f.add_node(NodeId{1}, 1);
+
+  std::vector<std::pair<NodeId, TimePoint>> restarts;
+  f.network.set_restart_hook([&](NodeId n) {
+    restarts.emplace_back(n, f.simulator.now());
+  });
+
+  FaultSchedule s;
+  s.crash_for(f.at(10), NodeId{1}, milliseconds(5))
+      .crash_for(f.at(12), NodeId{1}, milliseconds(5))  // overlap: no-op pair
+      .crash_for(f.at(30), NodeId{0}, milliseconds(5));
+  f.network.install_faults(s);
+  f.simulator.run();
+
+  ASSERT_EQ(restarts.size(), 2u);
+  EXPECT_EQ(restarts[0].first, NodeId{1});
+  EXPECT_EQ(restarts[0].second, f.at(15));
+  EXPECT_EQ(restarts[1].first, NodeId{0});
+  EXPECT_EQ(restarts[1].second, f.at(35));
+  // Two real pairs of 5 ms each; the overlapped pair contributed nothing.
+  EXPECT_EQ(f.network.fault().total_downtime(), milliseconds(10));
+}
+
 TEST(FaultInjector, DropReasonNames) {
   EXPECT_STREQ(drop_reason_name(DropReason::kNone), "none");
   EXPECT_STREQ(drop_reason_name(DropReason::kCrashedSource), "crashed_src");

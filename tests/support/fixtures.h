@@ -8,6 +8,7 @@
 #include "net/network.h"
 #include "sim/simulator.h"
 #include "statemachine/command.h"
+#include "statemachine/kvstore.h"
 
 namespace domino::test {
 
@@ -41,5 +42,27 @@ struct ExecTrace {
   std::vector<RequestId> order;
   void operator()(const RequestId& id, TimePoint) { order.push_back(id); }
 };
+
+/// Lost-commit consistency check: every command whose commit a client
+/// observed must have left a trace in at least one of the given stores (its
+/// key present — callers use per-command keys for exact attribution).
+/// Returns the ids of acknowledged commands that vanished from every store;
+/// non-empty means an acknowledged commit was lost, the violation that
+/// amnesiac crashes combined with weakened durability produce.
+inline std::vector<RequestId> lost_commits(const std::vector<sm::Command>& acknowledged,
+                                           const std::vector<const sm::KvStore*>& stores) {
+  std::vector<RequestId> lost;
+  for (const sm::Command& c : acknowledged) {
+    bool found = false;
+    for (const sm::KvStore* s : stores) {
+      if (s->items().find(c.key) != s->items().end()) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) lost.push_back(c.id);
+  }
+  return lost;
+}
 
 }  // namespace domino::test
