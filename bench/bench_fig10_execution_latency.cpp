@@ -23,6 +23,7 @@ void run_alpha(double alpha, const char* name, const char* note) {
   s.seed = 31;
   s.workload.zipf_alpha = alpha;
   s.additional_delay = milliseconds(8);  // "Domino-8ms"
+  s.timeseries_interval = milliseconds(500);  // per-window telemetry in the JSON
 
   const int reps = 2;
   const auto dom = bench::run_repeated(harness::Protocol::kDomino, s, reps);
@@ -44,7 +45,7 @@ void run_alpha(double alpha, const char* name, const char* note) {
   std::string json_path = "fig10_report_alpha";
   json_path += alpha >= 0.95 ? "095" : "075";
   json_path += ".json";
-  bench::emit_json_report(json_path, name,
+  bench::emit_json_report(json_path, name, s, reps,
                           {{"Domino-8ms", &dom}, {"Mencius", &men}, {"EPaxos", &epx},
                            {"Multi-Paxos", &mp}});
 }

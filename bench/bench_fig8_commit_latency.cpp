@@ -20,6 +20,7 @@ void run_setting(const char* name, const char* json_path, harness::Scenario s,
   s.warmup = seconds(2);
   s.measure = seconds(15);
   s.seed = 5;
+  s.timeseries_interval = milliseconds(500);  // per-window telemetry in the JSON
   const int reps = 3;
 
   const auto dom = bench::run_repeated(harness::Protocol::kDomino, s, reps);
@@ -52,7 +53,7 @@ void run_setting(const char* name, const char* json_path, harness::Scenario s,
   harness::Scenario traced = s;
   traced.measure = seconds(5);
   bench::print_phase_breakdown(harness::Protocol::kDomino, traced, "Domino");
-  bench::emit_json_report(json_path, name,
+  bench::emit_json_report(json_path, name, s, reps,
                           {{"Domino", &dom}, {"Mencius", &men}, {"EPaxos", &epx},
                            {"Multi-Paxos", &mp}});
 }

@@ -21,6 +21,7 @@ int main() {
   base.warmup = seconds(2);
   base.measure = seconds(12);
   base.seed = 21;
+  base.timeseries_interval = milliseconds(500);  // per-window telemetry in the JSON
   // A heavier-tailed jitter profile than the other figures: the percentile
   // knob only matters when the delay distribution has enough spread for
   // p50 and p99 estimates to differ by milliseconds.
@@ -88,7 +89,7 @@ int main() {
     std::snprintf(label, sizeof(label), "Domino p95 / +%dms delay", d);
     bench::print_prediction_audit(harness::Protocol::kDomino, s, label);
   }
-  bench::emit_json_report("fig9_report.json", "Figure 9 baselines",
+  bench::emit_json_report("fig9_report.json", "Figure 9 baselines", base, 2,
                           {{"Mencius", &men}, {"EPaxos", &epx}, {"Multi-Paxos", &mp}});
   return 0;
 }

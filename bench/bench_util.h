@@ -65,7 +65,16 @@ inline harness::RunResult run_repeated(harness::Protocol protocol, harness::Scen
     total.dm_chosen += r.dm_chosen;
     total.packets_sent += r.packets_sent;
     total.bytes_sent += r.bytes_sent;
+    total.client_retries += r.client_retries;
+    total.client_abandoned += r.client_abandoned;
     total.measure_window += r.measure_window;
+    // Keep the first repetition's windowed telemetry and SLO verdicts: the
+    // timeline is a per-run object (window deltas don't merge across seeds),
+    // and one representative seed is what the regression tooling diffs.
+    if (i == 0) {
+      total.timeseries = r.timeseries;
+      total.slo = std::move(r.slo);
+    }
     if (total.commit_per_client.size() < r.commit_per_client.size()) {
       total.commit_per_client.resize(r.commit_per_client.size());
     }
@@ -204,11 +213,36 @@ struct NamedResult {
 };
 
 /// Emit a machine-readable summary of a bench run next to the human table:
-/// a JSON object mapping each label to the run's latency statistics and
-/// counters. Deterministic for deterministic inputs.
+/// a schema-v2 JSON object carrying the run metadata (so
+/// scripts/bench_compare.py can refuse apples-to-oranges comparisons), one
+/// stats row per label, and — when the scenario sampled a timeline — the
+/// per-window telemetry of each result. Deterministic for deterministic
+/// inputs.
 inline void emit_json_report(const std::string& path, const std::string& figure,
+                             const harness::Scenario& scenario, int repetitions,
                              const std::vector<NamedResult>& results) {
-  std::string out = "{\n\"figure\":\"" + obs::json_escape(figure) + "\",\n\"results\":{";
+  using obs::appendf;
+  std::string out = "{\n\"schema_version\":2,\n\"figure\":\"" +
+                    obs::json_escape(figure) + "\",\n\"meta\":{";
+  appendf(out, "\"replicas\":%zu,\"clients\":%zu,\"topology_dcs\":%zu",
+          scenario.replica_dcs.size(), scenario.client_dcs.size(),
+          scenario.topology.size());
+  out += ",\"replica_sites\":[";
+  for (std::size_t i = 0; i < scenario.replica_dcs.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "\"" + obs::json_escape(scenario.topology.name(scenario.replica_dcs[i])) + "\"";
+  }
+  out += ']';
+  appendf(out, ",\"leader_index\":%zu,\"rps_per_client\":%.3f", scenario.leader_index,
+          scenario.rps);
+  appendf(out, ",\"warmup_ms\":%.3f,\"measure_ms\":%.3f,\"cooldown_ms\":%.3f",
+          scenario.warmup.millis(), scenario.measure.millis(),
+          scenario.cooldown.millis());
+  appendf(out, ",\"base_seed\":%llu,\"repetitions\":%d",
+          static_cast<unsigned long long>(scenario.seed), repetitions);
+  appendf(out, ",\"timeseries_interval_ms\":%.3f",
+          scenario.timeseries_interval.millis());
+  out += "},\n\"results\":{";
   bool first = true;
   for (const NamedResult& nr : results) {
     if (nr.result == nullptr) continue;
@@ -217,22 +251,30 @@ inline void emit_json_report(const std::string& path, const std::string& figure,
     first = false;
     const harness::LatencyStats commit = harness::summarize_stats(r.commit_ms);
     const harness::LatencyStats exec = harness::summarize_stats(r.exec_ms);
-    char buf[512];
-    std::snprintf(buf, sizeof(buf),
-                  "{\"committed\":%llu,\"submitted\":%llu,\"fast_path\":%llu,"
-                  "\"slow_path\":%llu,\"throughput_rps\":%.3f,"
-                  "\"commit_ms\":{\"count\":%zu,\"mean\":%.6f,\"p50\":%.6f,"
-                  "\"p95\":%.6f,\"p99\":%.6f},"
-                  "\"exec_ms\":{\"count\":%zu,\"mean\":%.6f,\"p50\":%.6f,"
-                  "\"p95\":%.6f,\"p99\":%.6f}}",
-                  static_cast<unsigned long long>(r.committed),
-                  static_cast<unsigned long long>(r.submitted),
-                  static_cast<unsigned long long>(r.fast_path),
-                  static_cast<unsigned long long>(r.slow_path), r.throughput_rps(),
-                  commit.count, commit.mean, commit.p50, commit.p95, commit.p99,
-                  exec.count, exec.mean, exec.p50, exec.p95, exec.p99);
     out += "\n\"" + obs::json_escape(nr.label) + "\":";
-    out += buf;
+    appendf(out, "{\"committed\":%llu,\"submitted\":%llu,\"fast_path\":%llu,"
+                 "\"slow_path\":%llu,\"throughput_rps\":%.3f",
+            static_cast<unsigned long long>(r.committed),
+            static_cast<unsigned long long>(r.submitted),
+            static_cast<unsigned long long>(r.fast_path),
+            static_cast<unsigned long long>(r.slow_path), r.throughput_rps());
+    appendf(out, ",\"packets_sent\":%llu,\"bytes_sent\":%llu,"
+                 "\"client_retries\":%llu,\"client_abandoned\":%llu",
+            static_cast<unsigned long long>(r.packets_sent),
+            static_cast<unsigned long long>(r.bytes_sent),
+            static_cast<unsigned long long>(r.client_retries),
+            static_cast<unsigned long long>(r.client_abandoned));
+    appendf(out, ",\"commit_ms\":{\"count\":%zu,\"mean\":%.6f,\"p50\":%.6f,"
+                 "\"p95\":%.6f,\"p99\":%.6f}",
+            commit.count, commit.mean, commit.p50, commit.p95, commit.p99);
+    appendf(out, ",\"exec_ms\":{\"count\":%zu,\"mean\":%.6f,\"p50\":%.6f,"
+                 "\"p95\":%.6f,\"p99\":%.6f}",
+            exec.count, exec.mean, exec.p50, exec.p95, exec.p99);
+    if (r.timeseries != nullptr) {
+      out += ",\"timeline\":";
+      obs::append_timeseries_json(out, *r.timeseries);
+    }
+    out += '}';
   }
   out += "\n}\n}\n";
   if (obs::write_file(path, out)) {

@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Diff two bench JSON reports (bench::emit_json_report, schema v2) with
+tolerance bands — the compare half of the bench regression gate.
+
+The baseline and candidate must describe the *same experiment*: the script
+refuses to compare reports whose figure or meta (replica/client count and
+sites, leader, per-client rate, warmup/measure durations, repetitions)
+differ, so a config change can never masquerade as a performance change.
+Seed and telemetry-interval differences only warn: they change the numbers,
+not the experiment.
+
+Per result label, a regression is flagged when the candidate is worse than
+the baseline by more than the tolerance band:
+
+  commit_ms p50/p95/p99 and mean   candidate > baseline * (1 + tol), and
+                                   by more than --abs-floor-ms
+  throughput_rps / committed       candidate < baseline * (1 - tol)
+
+Improvements beyond the band are reported but never fail the gate. Exit
+status: 0 clean, 1 regression(s), 2 usage or comparability error.
+
+The simulation is virtual-time deterministic, so a same-toolchain rerun of
+the same binary reproduces the baseline exactly; the default 5% band
+absorbs intentional-but-neutral changes (e.g. tie-break reordering), not
+machine noise.
+
+Stdlib only; no third-party dependencies.
+
+Usage:
+  python3 scripts/bench_compare.py <baseline.json> <candidate.json>
+      [--tolerance 0.05] [--abs-floor-ms 0.5]
+  python3 scripts/bench_compare.py --selftest
+"""
+
+import copy
+import json
+import sys
+
+# Meta fields that define the experiment: any difference is apples-to-oranges.
+STRICT_META = [
+    "replicas", "clients", "topology_dcs", "replica_sites", "leader_index",
+    "rps_per_client", "warmup_ms", "measure_ms", "cooldown_ms", "repetitions",
+]
+# Differences here change values, not the experiment's identity.
+WARN_META = ["base_seed", "timeseries_interval_ms"]
+
+LATENCY_FIELDS = ["p50", "p95", "p99", "mean"]
+
+
+def compare(base, cand, tolerance=0.05, abs_floor_ms=0.5):
+    """Return (refusals, regressions, improvements, warnings) line lists."""
+    refusals, regressions, improvements, warnings = [], [], [], []
+
+    for doc, who in ((base, "baseline"), (cand, "candidate")):
+        if doc.get("schema_version") != 2:
+            refusals.append(f"{who}: schema_version "
+                            f"{doc.get('schema_version')!r} (want 2)")
+    if refusals:
+        return refusals, regressions, improvements, warnings
+
+    if base.get("figure") != cand.get("figure"):
+        refusals.append(f"figure differs: {base.get('figure')!r} vs "
+                        f"{cand.get('figure')!r}")
+    bmeta, cmeta = base.get("meta", {}), cand.get("meta", {})
+    for key in STRICT_META:
+        if bmeta.get(key) != cmeta.get(key):
+            refusals.append(f"meta.{key} differs: {bmeta.get(key)!r} vs "
+                            f"{cmeta.get(key)!r}")
+    for key in WARN_META:
+        if bmeta.get(key) != cmeta.get(key):
+            warnings.append(f"meta.{key} differs ({bmeta.get(key)!r} vs "
+                            f"{cmeta.get(key)!r}); values will not match "
+                            f"bit-for-bit")
+
+    bres, cres = base.get("results", {}), cand.get("results", {})
+    missing = sorted(set(bres) - set(cres))
+    if missing:
+        refusals.append(f"candidate is missing result labels: {missing}")
+    added = sorted(set(cres) - set(bres))
+    if added:
+        warnings.append(f"candidate has new labels (not compared): {added}")
+    if refusals:
+        return refusals, regressions, improvements, warnings
+
+    for label in sorted(bres):
+        b, c = bres[label], cres[label]
+        for field in LATENCY_FIELDS:
+            bv = b["commit_ms"][field]
+            cv = c["commit_ms"][field]
+            if cv > bv * (1 + tolerance) and cv - bv > abs_floor_ms:
+                regressions.append(
+                    f"{label}: commit {field} {bv:.3f} -> {cv:.3f} ms "
+                    f"(+{100 * (cv - bv) / bv:.1f}%, band {100 * tolerance:.0f}%)")
+            elif bv > cv * (1 + tolerance) and bv - cv > abs_floor_ms:
+                improvements.append(
+                    f"{label}: commit {field} {bv:.3f} -> {cv:.3f} ms "
+                    f"(-{100 * (bv - cv) / bv:.1f}%)")
+        for field, low_is_bad in (("throughput_rps", True), ("committed", True)):
+            bv, cv = b[field], c[field]
+            if low_is_bad and cv < bv * (1 - tolerance):
+                regressions.append(
+                    f"{label}: {field} {bv} -> {cv} "
+                    f"(-{100 * (bv - cv) / bv:.1f}%, band {100 * tolerance:.0f}%)")
+    return refusals, regressions, improvements, warnings
+
+
+def run_compare(base_path, cand_path, tolerance, abs_floor_ms):
+    with open(base_path) as fh:
+        base = json.load(fh)
+    with open(cand_path) as fh:
+        cand = json.load(fh)
+    refusals, regressions, improvements, warnings = compare(
+        base, cand, tolerance, abs_floor_ms)
+    for line in warnings:
+        print(f"warning: {line}")
+    if refusals:
+        print(f"REFUSED: {base_path} and {cand_path} are not comparable:")
+        for line in refusals:
+            print(f"  {line}")
+        return 2
+    for line in improvements:
+        print(f"improved: {line}")
+    if regressions:
+        print(f"REGRESSION vs {base_path}:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    labels = len(base.get("results", {}))
+    print(f"ok: {labels} result(s) within {100 * tolerance:.0f}% of {base_path}")
+    return 0
+
+
+def selftest():
+    """Exercise the three verdicts on a synthetic report; exit 0 if all hold."""
+    base = {
+        "schema_version": 2,
+        "figure": "selftest",
+        "meta": {k: 1 for k in STRICT_META} | {"base_seed": 7,
+                                               "timeseries_interval_ms": 250.0},
+        "results": {
+            "Proto": {
+                "committed": 1000, "throughput_rps": 500.0,
+                "commit_ms": {"count": 1000, "mean": 100.0, "p50": 90.0,
+                              "p95": 200.0, "p99": 250.0},
+            },
+        },
+    }
+    failures = []
+
+    same = compare(base, copy.deepcopy(base))
+    if same[0] or same[1]:
+        failures.append(f"identical reports must pass cleanly: {same}")
+
+    slow = copy.deepcopy(base)
+    slow["results"]["Proto"]["commit_ms"]["p95"] = 300.0  # +50%
+    r = compare(base, slow)
+    if not r[1] or r[0]:
+        failures.append(f"+50% p95 must be flagged as a regression: {r}")
+    if compare(slow, base)[1]:
+        failures.append("a faster candidate must not fail the gate")
+
+    tiny = copy.deepcopy(base)
+    tiny["results"]["Proto"]["commit_ms"]["p50"] = 90.3  # inside abs floor
+    if compare(base, tiny)[1]:
+        failures.append("sub-floor jitter must not be flagged")
+
+    other = copy.deepcopy(base)
+    other["meta"]["replicas"] = 5
+    if not compare(base, other)[0]:
+        failures.append("a meta mismatch must refuse the comparison")
+
+    reseeded = copy.deepcopy(base)
+    reseeded["meta"]["base_seed"] = 8
+    r = compare(base, reseeded)
+    if r[0] or not r[3]:
+        failures.append(f"a seed change must warn, not refuse: {r}")
+
+    for line in failures:
+        print(f"selftest FAILED: {line}")
+    if not failures:
+        print("selftest ok (6 checks)")
+    return 1 if failures else 0
+
+
+def main(argv):
+    args = argv[1:]
+    if args == ["--selftest"]:
+        return selftest()
+    tolerance, abs_floor_ms = 0.05, 0.5
+    paths = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--tolerance":
+            tolerance = float(args[i + 1])
+            i += 2
+        elif args[i] == "--abs-floor-ms":
+            abs_floor_ms = float(args[i + 1])
+            i += 2
+        else:
+            paths.append(args[i])
+            i += 1
+    if len(paths) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    return run_compare(paths[0], paths[1], tolerance, abs_floor_ms)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

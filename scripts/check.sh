@@ -8,6 +8,11 @@
 #   scripts/check.sh --trace      # tracing suite only (ctest -L trace), sanitized
 #   scripts/check.sh --predict    # prediction-audit suite (ctest -L predict), sanitized
 #   scripts/check.sh --recovery   # crash-recovery suite (ctest -L recovery), sanitized
+#   scripts/check.sh --timeline   # windowed-telemetry/SLO suite (ctest -L timeline), sanitized
+#   scripts/check.sh --bench-baseline [--record]
+#                                 # run the regression-gate bench and compare it
+#                                 # against scripts/baselines/BENCH_gate.json
+#                                 # (--record refreshes the baseline instead)
 #   scripts/check.sh --all        # plain full suite, then every sanitized gate
 #
 # The build directory is build/ (or build-asan/ for sanitized modes) under
@@ -26,6 +31,11 @@
 #             use-after-free in restart/replay paths.  Smoke-runs
 #             scripts/trace_summary.py on the suite's Chrome-trace sample
 #             (per-node recovery intervals).
+#   --timeline windowed telemetry: per-window counter/histogram deltas, SLO
+#             burn windows and time-to-steady-state after faults; smoke-runs
+#             scripts/timeline_summary.py on the suite's sample timeline
+#             (tables + HTML sparkline dashboard) and
+#             scripts/bench_compare.py --selftest.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -39,10 +49,11 @@ declare -A modes=(
   [--trace]="build-asan:1:trace:trace"
   [--predict]="build-asan:1:predict:predict"
   [--recovery]="build-asan:1:recovery:recovery"
+  [--timeline]="build-asan:1:timeline:timeline"
 )
 
 usage() {
-  sed -n '2,26p' "$0" | sed 's/^# \{0,1\}//'
+  sed -n '2,36p' "$0" | sed 's/^# \{0,1\}//'
   exit 2
 }
 
@@ -73,7 +84,39 @@ run_smoke() {
       smoke_csv "$root/scripts/trace_summary.py" \
         "$build_dir/tests/recovery_trace_sample.json"
       ;;
+    timeline)
+      local sample_json="$build_dir/tests/timeline_sample.json"
+      local sample_csv="$build_dir/tests/timeline_sample.csv"
+      if command -v python3 >/dev/null && [[ -f "$sample_json" && -f "$sample_csv" ]]; then
+        python3 "$root/scripts/timeline_summary.py" \
+          --html "$build_dir/tests/timeline_dashboard.html" \
+          "$sample_json" "$sample_csv"
+        python3 "$root/scripts/bench_compare.py" --selftest
+      else
+        echo "timeline smoke skipped (python3 or samples missing)" >&2
+      fi
+      ;;
   esac
+}
+
+# Run the deterministic regression-gate bench and diff it against the
+# checked-in baseline; with --record, refresh the baseline instead.
+bench_baseline() {
+  local record=0
+  [[ "${1:-}" == "--record" ]] && record=1
+  local build_dir="$root/build"
+  cmake -B "$build_dir" -S "$root"
+  cmake --build "$build_dir" -j "$(nproc)" --target bench_regression_gate
+  local out="$build_dir/bench/BENCH_gate.json"
+  "$build_dir/bench/bench_regression_gate" "$out"
+  local baseline="$root/scripts/baselines/BENCH_gate.json"
+  if [[ "$record" == 1 || ! -f "$baseline" ]]; then
+    mkdir -p "$(dirname "$baseline")"
+    cp "$out" "$baseline"
+    echo "bench baseline recorded at $baseline"
+  else
+    python3 "$root/scripts/bench_compare.py" "$baseline" "$out"
+  fi
 }
 
 run_mode() {
@@ -99,9 +142,14 @@ case "${1:-}" in
   --all)
     shift
     # Full plain suite first, then every sanitized gate (one build-asan
-    # configure+build serves all four labelled suites).
+    # configure+build serves all five labelled suites).
     run_mode --default "$@"
-    for gate in --chaos --trace --predict --recovery; do run_mode "$gate" "$@"; done
+    for gate in --chaos --trace --predict --recovery --timeline; do run_mode "$gate" "$@"; done
+    exit 0
+    ;;
+  --bench-baseline)
+    shift
+    bench_baseline "$@"
     exit 0
     ;;
   --*)

@@ -43,6 +43,12 @@ struct RunReport {
   /// "predict" JSON block and predict_csv() are omitted/empty then).
   std::shared_ptr<obs::PredictionAudit> predict;
   std::vector<obs::CalibrationRow> calibration;
+  /// Windowed telemetry + SLO evaluation; timeseries is null (and the
+  /// "timeline"/"slo" JSON blocks omitted) unless
+  /// Scenario::timeseries_interval was set.
+  std::shared_ptr<obs::Timeseries> timeseries;
+  obs::SloReport slo;
+  Duration timeseries_interval = Duration::zero();
 
   /// Render the whole report as a JSON document. The trace is included as
   /// text lines when `include_trace` is set (it can be large).
@@ -65,6 +71,10 @@ struct RunReport {
 
   /// Per-(owner,target) estimator-calibration CSV (obs::calibration_to_csv).
   [[nodiscard]] std::string calibration_csv() const;
+
+  /// Per-window telemetry CSV (obs::timeseries_to_csv). Header-only when
+  /// sampling was off.
+  [[nodiscard]] std::string timeline_csv() const;
 };
 
 /// Assemble a report from a finished run.

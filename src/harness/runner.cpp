@@ -87,6 +87,9 @@ struct Env {
       simulator.bind_obs(sink);
       network.bind_obs(sink);  // nodes pick the sink up at construction
       durable.bind_obs(sink);
+      if (s.timeseries_interval > Duration::zero()) {
+        timeseries = std::make_shared<obs::Timeseries>(s.timeseries_max_windows);
+      }
     }
     for (const std::size_t idx : s.weakened_replicas) {
       if (idx >= s.replica_dcs.size()) {
@@ -169,7 +172,19 @@ struct Env {
       });
       simulator.schedule_at(window_end, [client] { client->stop_load(); });
     }
+    if (timeseries != nullptr) {
+      // Read-only sampler on the virtual-time queue: snapshots metric
+      // deltas every interval, so enabling it cannot perturb the protocols.
+      sampler.start(simulator, scenario.timeseries_interval, scenario.timeseries_interval,
+                    [this] { timeseries->sample(*metrics, simulator.now()); });
+    }
     simulator.run_until(window_end + scenario.cooldown);
+    if (timeseries != nullptr) {
+      sampler.stop();
+      // Flush the tail: whatever accumulated since the last periodic tick
+      // becomes the final (possibly short) window.
+      timeseries->sample(*metrics, simulator.now());
+    }
 
     result.commit_ms = collector.commit_ms();
     result.exec_ms = collector.exec_ms();
@@ -217,6 +232,38 @@ struct Env {
       result.critical_paths = obs::critical_paths(*spans);
       if (metrics != nullptr) obs::accumulate_phases(result.critical_paths, *metrics);
     }
+    result.timeseries = timeseries;
+    if (timeseries != nullptr) {
+      if (metrics != nullptr && timeseries->dropped_windows() > 0) {
+        metrics->counter("obs.timeseries.dropped_windows")
+            .inc(timeseries->dropped_windows());
+      }
+      obs::SloConfig cfg = scenario.slo;
+      if (cfg.evaluate_until == TimePoint::max()) cfg.evaluate_until = window_end;
+      result.slo = obs::evaluate_slo(*timeseries, cfg, fault_instants());
+      if (metrics != nullptr) obs::publish_slo_metrics(result.slo, *metrics);
+    }
+  }
+
+  /// Convert the scenario's fault schedule into the SLO engine's
+  /// layering-neutral instants (obs cannot see net/fault.h).
+  [[nodiscard]] std::vector<obs::FaultInstant> fault_instants() const {
+    std::vector<obs::FaultInstant> out;
+    out.reserve(scenario.faults.size());
+    for (const net::FaultEvent& e : scenario.faults.events()) {
+      const char* kind = "?";
+      switch (e.kind) {
+        case net::FaultEvent::Kind::kCrash: kind = "crash"; break;
+        case net::FaultEvent::Kind::kRecover: kind = "recover"; break;
+        case net::FaultEvent::Kind::kPartition: kind = "partition"; break;
+        case net::FaultEvent::Kind::kHeal: kind = "heal"; break;
+        case net::FaultEvent::Kind::kDegradeStart: kind = "degrade_start"; break;
+        case net::FaultEvent::Kind::kDegradeEnd: kind = "degrade_end"; break;
+        case net::FaultEvent::Kind::kRouteChange: kind = "route_change"; break;
+      }
+      out.push_back(obs::FaultInstant{e.at, kind, e.node});
+    }
+    return out;
   }
 
   /// Record each replica's state-machine fingerprint (chaos convergence
@@ -239,7 +286,9 @@ struct Env {
   std::shared_ptr<obs::TraceRecorder> trace;
   std::shared_ptr<obs::SpanStore> spans;
   std::shared_ptr<obs::PredictionAudit> predict;
+  std::shared_ptr<obs::Timeseries> timeseries;
   sim::Simulator simulator;
+  sim::PeriodicTimer sampler;
   net::Network network;
   Rng clock_rng;
   TimePoint window_start;

@@ -22,6 +22,8 @@
 #include "obs/causal.h"
 #include "obs/metrics.h"
 #include "obs/predict.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "recovery/durable.h"
 #include "statemachine/workload.h"
@@ -90,6 +92,20 @@ struct Scenario {
   bool prediction_audit = false;
   /// Decision-record store capacity; overflow is counted, never silent.
   std::size_t predict_capacity = obs::PredictionAudit::kDefaultCapacity;
+  /// Time-series telemetry (obs/timeseries.h): a periodic simulator task
+  /// snapshots metric deltas into fixed-capacity windows. Zero (default) =
+  /// off: no sampler task is scheduled and every existing export stays
+  /// byte-identical. Requires `observability`. The sampler only *reads*
+  /// metrics, so enabling it never changes wire behaviour.
+  Duration timeseries_interval = Duration::zero();
+  /// Window capacity; further samples are counted as dropped, never silent.
+  std::size_t timeseries_max_windows = obs::Timeseries::kDefaultMaxWindows;
+  /// SLO rules + steady-state detector evaluated over the timeline after
+  /// the run (obs/slo.h). Ignored unless timeseries_interval is set. The
+  /// harness fills slo.evaluate_until with the end of the load window when
+  /// left at its TimePoint::max() default, and derives the fault instants
+  /// from `faults`.
+  obs::SloConfig slo;
 
   // Robustness knobs (chaos runs).
   /// Timed fault events (crashes, partitions, degradations, route changes)
@@ -197,6 +213,13 @@ struct RunResult {
   /// Protocol events lost to trace-ring overwrite (satellite of the span
   /// work: overflow is counted, never silent).
   std::uint64_t trace_events_dropped = 0;
+
+  /// Windowed telemetry frames; null unless Scenario::timeseries_interval
+  /// was set (and observability was on).
+  std::shared_ptr<obs::Timeseries> timeseries;
+  /// SLO rule + steady-state evaluation over the timeline; default-empty
+  /// unless sampling was on. Also surfaced as slo.* metrics.
+  obs::SloReport slo;
 };
 
 enum class Protocol { kMultiPaxos, kMencius, kEPaxos, kFastPaxos, kDomino };

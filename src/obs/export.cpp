@@ -1,25 +1,13 @@
 #include "obs/export.h"
 
-#include <cstdarg>
-#include <cstdio>
-
 namespace domino::obs {
 namespace {
 
-void append_f(std::string& out, const char* fmt, ...) {
-  char buf[256];
-  va_list args;
-  va_start(args, fmt);
-  std::vsnprintf(buf, sizeof(buf), fmt, args);
-  va_end(args);
-  out += buf;
-}
-
 void append_histogram_json(std::string& out, const Histogram& h) {
-  append_f(out, "{\"count\":%llu,\"min\":%lld,\"max\":%lld,\"mean\":%.6g",
+  appendf(out, "{\"count\":%llu,\"min\":%lld,\"max\":%lld,\"mean\":%.6g",
            static_cast<unsigned long long>(h.count()), static_cast<long long>(h.min()),
            static_cast<long long>(h.max()), h.mean());
-  append_f(out, ",\"p50\":%lld,\"p95\":%lld,\"p99\":%lld",
+  appendf(out, ",\"p50\":%lld,\"p95\":%lld,\"p99\":%lld",
            static_cast<long long>(h.percentile(50)), static_cast<long long>(h.percentile(95)),
            static_cast<long long>(h.percentile(99)));
   out += ",\"buckets\":[";
@@ -28,7 +16,7 @@ void append_histogram_json(std::string& out, const Histogram& h) {
     if (h.bucket_count(i) == 0) continue;
     if (!first) out += ',';
     first = false;
-    append_f(out, "[%lld,%llu]", static_cast<long long>(Histogram::bucket_upper_bound(i)),
+    appendf(out, "[%lld,%llu]", static_cast<long long>(Histogram::bucket_upper_bound(i)),
              static_cast<unsigned long long>(h.bucket_count(i)));
   }
   out += "]}";
@@ -42,44 +30,21 @@ std::string request_str(const RequestId& id) {
 
 }  // namespace
 
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 std::string metrics_to_json(const MetricsRegistry& registry) {
   std::string counters, gauges, histograms;
   registry.visit([&](const std::string& name, const Counter* c, const Gauge* g,
                      const Histogram* h) {
     if (c != nullptr) {
       if (!counters.empty()) counters += ',';
-      append_f(counters, "\"%s\":%llu", json_escape(name).c_str(),
+      appendf(counters, "\"%s\":%llu", json_escape(name).c_str(),
                static_cast<unsigned long long>(c->value()));
     } else if (g != nullptr) {
       if (!gauges.empty()) gauges += ',';
-      append_f(gauges, "\"%s\":{\"value\":%lld,\"max\":%lld}", json_escape(name).c_str(),
+      appendf(gauges, "\"%s\":{\"value\":%lld,\"max\":%lld}", json_escape(name).c_str(),
                static_cast<long long>(g->value()), static_cast<long long>(g->max()));
     } else if (h != nullptr) {
       if (!histograms.empty()) histograms += ',';
-      append_f(histograms, "\"%s\":", json_escape(name).c_str());
+      appendf(histograms, "\"%s\":", json_escape(name).c_str());
       append_histogram_json(histograms, *h);
     }
   });
@@ -92,22 +57,22 @@ std::string metrics_to_csv(const MetricsRegistry& registry) {
   registry.visit([&](const std::string& name, const Counter* c, const Gauge* g,
                      const Histogram* h) {
     if (c != nullptr) {
-      append_f(out, "counter,%s,value,%llu\n", name.c_str(),
+      appendf(out, "counter,%s,value,%llu\n", name.c_str(),
                static_cast<unsigned long long>(c->value()));
     } else if (g != nullptr) {
-      append_f(out, "gauge,%s,value,%lld\n", name.c_str(),
+      appendf(out, "gauge,%s,value,%lld\n", name.c_str(),
                static_cast<long long>(g->value()));
-      append_f(out, "gauge,%s,max,%lld\n", name.c_str(), static_cast<long long>(g->max()));
+      appendf(out, "gauge,%s,max,%lld\n", name.c_str(), static_cast<long long>(g->max()));
     } else if (h != nullptr) {
-      append_f(out, "histogram,%s,count,%llu\n", name.c_str(),
+      appendf(out, "histogram,%s,count,%llu\n", name.c_str(),
                static_cast<unsigned long long>(h->count()));
-      append_f(out, "histogram,%s,min,%lld\n", name.c_str(),
+      appendf(out, "histogram,%s,min,%lld\n", name.c_str(),
                static_cast<long long>(h->min()));
-      append_f(out, "histogram,%s,max,%lld\n", name.c_str(),
+      appendf(out, "histogram,%s,max,%lld\n", name.c_str(),
                static_cast<long long>(h->max()));
-      append_f(out, "histogram,%s,mean,%.6g\n", name.c_str(), h->mean());
+      appendf(out, "histogram,%s,mean,%.6g\n", name.c_str(), h->mean());
       for (const double p : {50.0, 95.0, 99.0}) {
-        append_f(out, "histogram,%s,p%.0f,%lld\n", name.c_str(), p,
+        appendf(out, "histogram,%s,p%.0f,%lld\n", name.c_str(), p,
                  static_cast<long long>(h->percentile(p)));
       }
     }
@@ -118,7 +83,7 @@ std::string metrics_to_csv(const MetricsRegistry& registry) {
 std::string trace_to_text(const TraceRecorder& trace) {
   std::string out;
   for (const TraceEvent& e : trace.snapshot()) {
-    append_f(out, "%lld %s node=%s peer=%s req=%s type=%u detail=%u value=%lld\n",
+    appendf(out, "%lld %s node=%s peer=%s req=%s type=%u detail=%u value=%lld\n",
              static_cast<long long>(e.at.nanos()), event_kind_name(e.kind),
              node_str(e.node).c_str(), node_str(e.peer).c_str(),
              request_str(e.request).c_str(), static_cast<unsigned>(e.msg_type),
@@ -133,7 +98,7 @@ std::string trace_to_json(const TraceRecorder& trace) {
   for (const TraceEvent& e : trace.snapshot()) {
     if (!first) out += ',';
     first = false;
-    append_f(out,
+    appendf(out,
              "{\"at\":%lld,\"kind\":\"%s\",\"node\":\"%s\",\"peer\":\"%s\","
              "\"req\":\"%s\",\"type\":%u,\"detail\":%u,\"value\":%lld}",
              static_cast<long long>(e.at.nanos()), event_kind_name(e.kind),
@@ -143,14 +108,6 @@ std::string trace_to_json(const TraceRecorder& trace) {
   }
   out += ']';
   return out;
-}
-
-bool write_file(const std::string& path, std::string_view content) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
-  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
-  const bool ok = std::fclose(f) == 0 && written == content.size();
-  return ok;
 }
 
 }  // namespace domino::obs

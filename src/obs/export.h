@@ -8,6 +8,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/json.h"  // json_escape / write_file / number formatting
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -25,11 +26,5 @@ namespace domino::obs {
 
 /// JSON array of event objects, oldest first.
 [[nodiscard]] std::string trace_to_json(const TraceRecorder& trace);
-
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-[[nodiscard]] std::string json_escape(std::string_view s);
-
-/// Write `content` to `path`; returns false on I/O failure.
-bool write_file(const std::string& path, std::string_view content);
 
 }  // namespace domino::obs

@@ -57,22 +57,25 @@ void PeriodicTimer::start(Simulator& simulator, Duration initial, Duration inter
                           std::function<void()> tick) {
   stop();
   alive_ = std::make_shared<bool>(true);
-  // The recursive lambda holds weak state via the shared flag; if stop() is
-  // called the chain breaks at the next firing.
+  // The timer owns the recursive closure; scheduled copies reach it through
+  // a weak_ptr, so stop() breaks the chain at the next firing and no
+  // self-referential shared_ptr cycle is left behind.
   auto alive = alive_;
-  auto fire = std::make_shared<std::function<void()>>();
-  *fire = [&simulator, interval, tick = std::move(tick), alive, fire]() {
+  fire_ = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak = fire_;
+  *fire_ = [&simulator, interval, tick = std::move(tick), alive, weak]() {
     if (!*alive) return;
     tick();
     if (!*alive) return;
-    simulator.schedule_after(interval, *fire);
+    if (auto fire = weak.lock()) simulator.schedule_after(interval, *fire);
   };
-  simulator.schedule_after(initial, *fire);
+  simulator.schedule_after(initial, *fire_);
 }
 
 void PeriodicTimer::stop() {
   if (alive_) *alive_ = false;
   alive_.reset();
+  fire_.reset();
 }
 
 }  // namespace domino::sim

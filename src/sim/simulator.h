@@ -79,6 +79,9 @@ class Simulator {
 class PeriodicTimer {
  public:
   PeriodicTimer() = default;
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
 
   /// Starts firing `tick` every `interval`, first firing after `initial`.
   /// Any previously started schedule is cancelled.
@@ -91,6 +94,7 @@ class PeriodicTimer {
 
  private:
   std::shared_ptr<bool> alive_;
+  std::shared_ptr<std::function<void()>> fire_;
 };
 
 }  // namespace domino::sim

@@ -160,10 +160,21 @@ std::string golden_path() {
 }
 
 TEST(ReportSchema, JsonKeysAndShapesMatchGolden) {
-  // The richest report: observability + spans + prediction audit, Domino.
+  // The richest report: observability + spans + prediction audit + windowed
+  // telemetry with an SLO rule and a fault (so the timeline and slo blocks
+  // appear with non-empty rule/steady arrays), Domino.
   Scenario full = schema_scenario();
   full.command_spans = true;
   full.prediction_audit = true;
+  full.timeseries_interval = milliseconds(250);
+  full.faults.crash_for(TimePoint::epoch() + milliseconds(800), NodeId{1},
+                        milliseconds(300));
+  full.client_request_timeout = milliseconds(300);
+  full.slo.rules.push_back(obs::SloRule{"commit_p95", "client.commit_latency_ns",
+                                        obs::SloRule::Kind::kLatencyCeiling, 95.0,
+                                        /*threshold=*/1.5e9, /*burn_windows=*/2});
+  full.slo.steady_metric = "client.committed";
+  full.slo.steady_windows = 2;
   const RunReport rich =
       make_report(Protocol::kDomino, full, run_domino(full));
 
@@ -174,7 +185,7 @@ TEST(ReportSchema, JsonKeysAndShapesMatchGolden) {
 
   std::string actual;
   actual += "# RunReport::to_json schema (keys and shapes, not values)\n";
-  actual += "## full: observability + command_spans + prediction_audit\n";
+  actual += "## full: observability + command_spans + prediction_audit + timeline/slo\n";
   actual += SchemaWalker(rich.to_json()).schema();
   actual += "## minimal: observability off\n";
   actual += SchemaWalker(lean.to_json()).schema();

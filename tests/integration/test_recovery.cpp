@@ -55,6 +55,13 @@ Scenario amnesia_scenario(std::uint64_t seed) {
   s.client_max_retries = 8;
   s.amnesia_crashes = true;
   s.sync_latency = milliseconds(2);
+  // Windowed telemetry + steady-state detector: every sweep run reports a
+  // time-to-steady-state per fault instant (commit rate back within
+  // tolerance of the pre-fault baseline for K consecutive windows).
+  s.timeseries_interval = milliseconds(150);
+  s.slo.steady_metric = "client.committed";
+  s.slo.steady_tolerance = 0.75;
+  s.slo.steady_windows = 2;
   return s;
 }
 
@@ -134,6 +141,27 @@ TEST_P(AmnesiaSweep, RecoversConvergesAndStaysDeterministic) {
   EXPECT_EQ(a.recovery.catchup_bytes, b.recovery.catchup_bytes);
   EXPECT_EQ(a.recovery.rejoin_ns_total, b.recovery.rejoin_ns_total);
   EXPECT_EQ(a.recovery_downtime_ns, b.recovery_downtime_ns);
+
+  // -- Time-to-steady-state: the SLO engine reports a finite settle time
+  // for every crash and recovery instant (the commit rate returns to the
+  // pre-fault baseline before the load window ends), and the verdicts are
+  // deterministic across same-seed runs.
+  ASSERT_NE(a.timeseries, nullptr);
+  ASSERT_EQ(a.slo.steady.size(), 2 * s.replica_dcs.size());
+  for (const obs::SteadyStateResult& st : a.slo.steady) {
+    EXPECT_TRUE(st.reached)
+        << "no steady state after " << st.fault.kind << " of "
+        << st.fault.node.to_string() << " at " << st.fault.at.to_string();
+    EXPECT_GT(st.time_to_steady, Duration::zero());
+    EXPECT_GT(st.baseline, 0.0);
+  }
+  ASSERT_EQ(b.slo.steady.size(), a.slo.steady.size());
+  for (std::size_t i = 0; i < a.slo.steady.size(); ++i) {
+    EXPECT_EQ(a.slo.steady[i].reached, b.slo.steady[i].reached);
+    EXPECT_EQ(a.slo.steady[i].time_to_steady.nanos(),
+              b.slo.steady[i].time_to_steady.nanos());
+    EXPECT_EQ(a.slo.steady[i].settle_window, b.slo.steady[i].settle_window);
+  }
 
   // -- The recovery.* metrics mirror the aggregate accounting.
   ASSERT_NE(a.metrics, nullptr);
