@@ -34,15 +34,14 @@ net::Topology mesh30() {
 
 void set_scheduled(net::Network& network, std::size_t a, std::size_t b,
                    std::vector<std::pair<double, double>> steps_s_rtt) {
-  std::vector<net::ScheduledLatency::Step> steps;
+  std::vector<net::RttStep> steps;
   for (auto [at_s, rtt_ms] : steps_s_rtt) {
-    steps.push_back({TimePoint::epoch() + seconds_d(at_s), milliseconds_d(rtt_ms / 2)});
+    steps.push_back({seconds_d(at_s), milliseconds_d(rtt_ms)});
   }
   net::JitterParams quiet;
   quiet.spike_prob = 0;
   quiet.jitter_mu_ms = -3.0;
-  network.set_link_model(a, b, std::make_unique<net::ScheduledLatency>(steps, quiet));
-  network.set_link_model(b, a, std::make_unique<net::ScheduledLatency>(steps, quiet));
+  network.set_scheduled_rtt_link(a, b, steps, quiet);
 }
 
 struct Timeline {

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "wan/delay_trace.h"
 
 int main(int argc, char** argv) {
   using namespace domino;
@@ -34,17 +35,27 @@ int main(int argc, char** argv) {
   const auto fp = bench::run_repeated(harness::Protocol::kFastPaxos, s, reps);
   const auto dom = bench::run_repeated(harness::Protocol::kDomino, s, reps);
 
+  // Same scenario with the VA links replaying the checked-in fixture trace:
+  // gates the whole trace-ingestion + empirical-replay path (wan::) against
+  // latency drift, not just the synthetic jitter models.
+  harness::Scenario st = s;
+  st.wan_trace = std::make_shared<wan::DelayTrace>(
+      wan::DelayTrace::load(std::string(DOMINO_TRACE_DIR) + "/globe_va.csv"));
+  const auto dom_trace = bench::run_repeated(harness::Protocol::kDomino, st, reps);
+
   std::printf("%s\n", harness::summary_line("Multi-Paxos", mp.commit_ms).c_str());
   std::printf("%s\n", harness::summary_line("Mencius", men.commit_ms).c_str());
   std::printf("%s\n", harness::summary_line("EPaxos", epx.commit_ms).c_str());
   std::printf("%s\n", harness::summary_line("Fast Paxos", fp.commit_ms).c_str());
   std::printf("%s\n", harness::summary_line("Domino", dom.commit_ms).c_str());
+  std::printf("%s\n", harness::summary_line("Domino/trace", dom_trace.commit_ms).c_str());
 
   bench::emit_json_report(out, "Regression gate", s, reps,
                           {{"Multi-Paxos", &mp},
                            {"Mencius", &men},
                            {"EPaxos", &epx},
                            {"Fast-Paxos", &fp},
-                           {"Domino", &dom}});
+                           {"Domino", &dom},
+                           {"Domino-trace", &dom_trace}});
   return 0;
 }

@@ -1,10 +1,14 @@
 // Table 1: network roundtrip delays (ms) between the 6 Globe datacenters.
 // Verifies that probing the simulated WAN reproduces the configured matrix
 // (the paper's measured averages).
+#include <cmath>
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/stats.h"
 #include "measure/prober.h"
+#include "wan/delay_trace.h"
+#include "wan/empirical.h"
 
 namespace {
 
@@ -71,11 +75,55 @@ void measure_matrix(const net::Topology& topo, const char* paper_ref) {
   std::printf("\n");
 }
 
+// Re-probe the VA row with the VA links replaying the checked-in fixture
+// trace: the probed medians must now track the trace's own medians (sum of
+// the per-direction OWD medians), not the configured matrix.
+void measure_va_row_traced(const net::Topology& topo, const wan::DelayTrace& trace) {
+  sim::Simulator simulator;
+  net::Network network(simulator, topo, 42);
+  net::JitterParams jitter;
+  network.use_default_links(jitter);
+  const std::size_t replayed = wan::apply_trace(trace, network, {});
+
+  std::vector<NodeId> ids;
+  for (std::size_t i = 0; i < topo.size(); ++i) ids.push_back(NodeId{(std::uint32_t)i});
+  std::vector<std::unique_ptr<ProbeClient>> nodes;
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    nodes.push_back(std::make_unique<ProbeClient>(ids[i], i, network, ids));
+    nodes.back()->attach();
+  }
+  for (auto& n : nodes) n->prober.start();
+  simulator.run_until(TimePoint::epoch() + seconds(5));
+
+  std::printf("VA row, links replaying bench/traces/globe_va.csv (%zu directed links):\n\n",
+              replayed);
+  std::printf("  pair      probed p50   trace p50   configured\n");
+  const std::size_t va = topo.index_of("VA");
+  for (std::size_t j = 0; j < topo.size(); ++j) {
+    const auto fwd = trace.samples("VA", topo.name(j));
+    const auto rev = trace.samples(topo.name(j), "VA");
+    if (fwd == nullptr || rev == nullptr) continue;
+    StatAccumulator f, r;
+    for (const auto& s : *fwd) f.add(s.owd.millis());
+    for (const auto& s : *rev) r.add(s.owd.millis());
+    const double trace_p50 = f.percentile(50) + r.percentile(50);
+    const double probed = nodes[va]->prober.rtt_estimate(ids[j], 50.0).millis();
+    std::printf("  VA<->%-4s %10.1f %11.1f %12.0f   tracks trace: %s\n",
+                topo.name(j).c_str(), probed, trace_p50, topo.rtt(va, j).millis(),
+                std::abs(probed - trace_p50) < trace_p50 * 0.05 ? "yes" : "NO");
+  }
+}
+
 }  // namespace
 
 int main() {
-  domino::bench::print_header("Inter-datacenter RTT matrix — Globe",
-                              "paper Table 1, Section 4");
-  measure_matrix(domino::net::Topology::globe(), "Globe (6 DCs)");
+  using namespace domino;
+  bench::print_header("Inter-datacenter RTT matrix — Globe",
+                      "paper Table 1, Section 4");
+  const net::Topology topo = net::Topology::globe();
+  measure_matrix(topo, "Globe (6 DCs)");
+  const wan::DelayTrace trace =
+      wan::DelayTrace::load(std::string(DOMINO_TRACE_DIR) + "/globe_va.csv");
+  measure_va_row_traced(topo, trace);
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "bench_util.h"
 #include "harness/trace.h"
 #include "net/topology.h"
+#include "wan/delay_trace.h"
 
 int main() {
   using namespace domino;
@@ -93,6 +94,47 @@ int main() {
   std::printf("shape holds (OWD stays in single-digit ms, half-RTT off by orders of "
               "magnitude): %s\n",
               (max_owd < 10.0 && max_half > 50 * max_owd) ? "yes" : "NO");
+
+  // Score both estimators on the checked-in WAN fixtures: on the stationary
+  // trace the replica-timestamp technique holds its single-digit-ms p99
+  // misprediction, while on the drifting trace (route flaps, congestion
+  // epochs) even the better estimator's residual grows — non-stationarity,
+  // not estimator choice, becomes the binding constraint.
+  {
+    const std::string trace_dir = DOMINO_TRACE_DIR;
+    const wan::DelayTrace stationary = wan::DelayTrace::load(trace_dir + "/globe_va.csv");
+    const wan::DelayTrace drifting = wan::DelayTrace::load(trace_dir + "/va_wa_drift.csv");
+    std::printf("\nfixture traces, VA -> WA, p95 / 1 s window:\n");
+    std::printf("  trace        estimator          p99 misprediction (ms)  correct rate\n");
+    struct Row {
+      const char* trace_name;
+      const wan::DelayTrace* trace;
+      const char* est_name;
+      harness::OwdEstimator est;
+    };
+    const Row rows[] = {
+        {"stationary", &stationary, "half-RTT", harness::OwdEstimator::kHalfRtt},
+        {"stationary", &stationary, "replica-ts", harness::OwdEstimator::kReplicaTimestamp},
+        {"drifting", &drifting, "half-RTT", harness::OwdEstimator::kHalfRtt},
+        {"drifting", &drifting, "replica-ts", harness::OwdEstimator::kReplicaTimestamp},
+    };
+    double stationary_owd = 0, drifting_owd = 0;
+    for (const Row& row : rows) {
+      const auto probes = harness::probe_samples_from_wan(
+          *row.trace->samples("VA", "WA"), *row.trace->samples("WA", "VA"));
+      const auto outcome =
+          harness::evaluate_predictions(probes, row.est, seconds(1), 95.0);
+      std::printf("  %-12s %-18s %22.2f %12.1f%%\n", row.trace_name, row.est_name,
+                  outcome.p99_misprediction_ms, outcome.correct_rate * 100);
+      if (row.est == harness::OwdEstimator::kReplicaTimestamp) {
+        (row.trace == &stationary ? stationary_owd : drifting_owd) =
+            outcome.p99_misprediction_ms;
+      }
+    }
+    std::printf("  drift inflates the replica-timestamp residual (%.2f -> %.2f ms): %s\n",
+                stationary_owd, drifting_owd,
+                drifting_owd > stationary_owd ? "yes" : "NO");
+  }
 
   // In-protocol check of the same claim: on a live Globe deployment the
   // replica-timestamp estimator's calibration coverage stays near the

@@ -1,0 +1,84 @@
+// Writes the checked-in WAN delay-trace fixtures under bench/traces/.
+//
+//   wan_tracegen <out_dir>
+//
+// Two fixtures, both fully determined by hard-coded seeds:
+//
+//   globe_va.csv    stationary regime, directed links VA<->WA, VA<->PR,
+//                   VA<->NSW of the Globe topology (Table 1 RTTs, mildly
+//                   asymmetric split), 300 s at 25 ms — the paper's
+//                   Figure 1/2 links in the regime where its stability
+//                   claim holds. 25 ms sampling keeps a 1 s estimator
+//                   window at ~40 samples, the paper's probing regime.
+//   va_wa_drift.csv non-stationary regime, VA<->WA only: diurnal drift,
+//                   congestion epochs, route-change steps, heavy-tail
+//                   spikes, 120 s at 25 ms — the regime where the claim
+//                   deliberately breaks (fig3 drift runs, calibration
+//                   stress tests).
+//
+// Regenerate after changing the generator:  wan_tracegen bench/traces
+#include <cstdio>
+
+#include "net/topology.h"
+#include "obs/json.h"
+#include "wan/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace domino;
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: wan_tracegen <out_dir>\n");
+    return 2;
+  }
+  const std::string out_dir = argv[1];
+  const net::Topology topo = net::Topology::globe();
+
+  // Stationary Globe fixture: per-direction base = forward/reverse share of
+  // the Table 1 RTT (0.55/0.45 — real routes are rarely symmetric).
+  wan::DelayTrace globe;
+  const char* targets[] = {"WA", "PR", "NSW"};
+  std::uint64_t seed = 401;
+  for (const char* t : targets) {
+    const Duration rtt = topo.rtt(topo.index_of("VA"), topo.index_of(t));
+    for (const bool forward : {true, false}) {
+      wan::GeneratorConfig cfg =
+          wan::stationary_config(scale(rtt, forward ? 0.55 : 0.45), seed++);
+      cfg.duration = seconds(300);
+      cfg.sample_interval = milliseconds(25);
+      wan::TraceGenerator(cfg).generate_into(globe, forward ? "VA" : t,
+                                             forward ? t : "VA");
+    }
+  }
+  const std::string globe_path = out_dir + "/globe_va.csv";
+  if (!obs::write_file(globe_path, globe.to_csv())) {
+    std::fprintf(stderr, "cannot write %s\n", globe_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu links, %zu samples)\n", globe_path.c_str(),
+              globe.link_count(), globe.total_samples());
+
+  // Drifting VA<->WA fixture.
+  wan::DelayTrace drift;
+  const Duration va_wa = topo.rtt(topo.index_of("VA"), topo.index_of("WA"));
+  for (const bool forward : {true, false}) {
+    wan::GeneratorConfig cfg =
+        wan::drifting_config(scale(va_wa, forward ? 0.55 : 0.45), seed++);
+    cfg.duration = seconds(120);
+    cfg.sample_interval = milliseconds(25);
+    // Route flaps across the 120 s trace: +25% for 10 s out of every 20 s.
+    cfg.route_steps.clear();
+    for (std::int64_t s = 10; s + 10 <= 120; s += 20) {
+      cfg.route_steps.emplace_back(seconds(s), scale(cfg.base, 1.25));
+      cfg.route_steps.emplace_back(seconds(s + 10), cfg.base);
+    }
+    wan::TraceGenerator(cfg).generate_into(drift, forward ? "VA" : "WA",
+                                           forward ? "WA" : "VA");
+  }
+  const std::string drift_path = out_dir + "/va_wa_drift.csv";
+  if (!obs::write_file(drift_path, drift.to_csv())) {
+    std::fprintf(stderr, "cannot write %s\n", drift_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu links, %zu samples)\n", drift_path.c_str(),
+              drift.link_count(), drift.total_samples());
+  return 0;
+}

@@ -9,6 +9,7 @@
 #   scripts/check.sh --predict    # prediction-audit suite (ctest -L predict), sanitized
 #   scripts/check.sh --recovery   # crash-recovery suite (ctest -L recovery), sanitized
 #   scripts/check.sh --timeline   # windowed-telemetry/SLO suite (ctest -L timeline), sanitized
+#   scripts/check.sh --wan        # WAN delay-trace suite (ctest -L wan), sanitized
 #   scripts/check.sh --bench-baseline [--record]
 #                                 # run the regression-gate bench and compare it
 #                                 # against scripts/baselines/BENCH_gate.json
@@ -36,6 +37,10 @@
 #             scripts/timeline_summary.py on the suite's sample timeline
 #             (tables + HTML sparkline dashboard) and
 #             scripts/bench_compare.py --selftest.
+#   --wan     WAN delay traces: adversarial CSV ingestion, empirical replay
+#             models, non-stationary generators and the calibration-under-
+#             drift acceptance run; smoke-runs scripts/trace_stats.py on the
+#             checked-in fixtures under bench/traces/.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -50,10 +55,11 @@ declare -A modes=(
   [--predict]="build-asan:1:predict:predict"
   [--recovery]="build-asan:1:recovery:recovery"
   [--timeline]="build-asan:1:timeline:timeline"
+  [--wan]="build-asan:1:wan:wan"
 )
 
 usage() {
-  sed -n '2,36p' "$0" | sed 's/^# \{0,1\}//'
+  sed -n '2,43p' "$0" | sed 's/^# \{0,1\}//'
   exit 2
 }
 
@@ -95,6 +101,10 @@ run_smoke() {
       else
         echo "timeline smoke skipped (python3 or samples missing)" >&2
       fi
+      ;;
+    wan)
+      smoke_csv "$root/scripts/trace_stats.py" \
+        "$root/bench/traces/globe_va.csv" "$root/bench/traces/va_wa_drift.csv"
       ;;
   esac
 }
@@ -142,9 +152,9 @@ case "${1:-}" in
   --all)
     shift
     # Full plain suite first, then every sanitized gate (one build-asan
-    # configure+build serves all five labelled suites).
+    # configure+build serves all six labelled suites).
     run_mode --default "$@"
-    for gate in --chaos --trace --predict --recovery --timeline; do run_mode "$gate" "$@"; done
+    for gate in --chaos --trace --predict --recovery --timeline --wan; do run_mode "$gate" "$@"; done
     exit 0
     ;;
   --bench-baseline)

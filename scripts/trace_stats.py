@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Per-link delay bands of a WAN delay-trace CSV (see src/wan/delay_trace.h).
+
+Usage:
+  scripts/trace_stats.py bench/traces/globe_va.csv [more.csv ...]
+
+For every directed link in each file, prints the sample count, time span,
+median probing interval, and the p5/p50/p99 one-way-delay band in ms —
+the quick sanity view of what a fixture will replay. Stdlib only.
+"""
+
+import sys
+
+
+def percentile(sorted_values, pct):
+    """Nearest-rank percentile on an already-sorted list."""
+    if not sorted_values:
+        return float("nan")
+    k = max(0, min(len(sorted_values) - 1, round(pct / 100.0 * (len(sorted_values) - 1))))
+    return sorted_values[k]
+
+
+def parse_trace(path):
+    """-> {(from, to): [(time_ms, owd_ms), ...]} in file order."""
+    links = {}
+    with open(path, "r", encoding="utf-8") as f:
+        header_seen = False
+        for line_no, raw in enumerate(f, start=1):
+            line = raw.rstrip("\r\n")
+            if not line or line.startswith("#"):
+                continue
+            if not header_seen:
+                if line != "time_ms,from,to,owd_ms":
+                    raise SystemExit(f"{path}:{line_no}: bad header {line!r}")
+                header_seen = True
+                continue
+            fields = line.split(",")
+            if len(fields) != 4:
+                raise SystemExit(f"{path}:{line_no}: want 4 fields, got {len(fields)}")
+            t_ms, src, dst, owd_ms = fields
+            try:
+                t = float(t_ms)
+                owd = float(owd_ms)
+            except ValueError:
+                raise SystemExit(f"{path}:{line_no}: non-numeric field") from None
+            links.setdefault((src, dst), []).append((t, owd))
+    if not header_seen:
+        raise SystemExit(f"{path}: no header found")
+    return links
+
+
+def median_interval(times):
+    gaps = sorted(b - a for a, b in zip(times, times[1:]))
+    return percentile(gaps, 50) if gaps else float("nan")
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        links = parse_trace(path)
+        total = sum(len(v) for v in links.values())
+        print(f"{path}: {len(links)} directed links, {total} samples")
+        print(f"  {'link':<12} {'samples':>8} {'span_s':>8} {'ivl_ms':>8} "
+              f"{'p5':>8} {'p50':>8} {'p99':>8}")
+        for (src, dst), samples in links.items():
+            times = [t for t, _ in samples]
+            owds = sorted(owd for _, owd in samples)
+            span_s = (times[-1] - times[0]) / 1000.0 if len(times) > 1 else 0.0
+            print(f"  {src + '->' + dst:<12} {len(samples):>8} {span_s:>8.1f} "
+                  f"{median_interval(times):>8.1f} {percentile(owds, 5):>8.2f} "
+                  f"{percentile(owds, 50):>8.2f} {percentile(owds, 99):>8.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

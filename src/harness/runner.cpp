@@ -72,6 +72,12 @@ struct Env {
       throw std::invalid_argument("Scenario: bad leader index");
     }
     network.use_default_links(s.jitter);
+    if (s.wan_trace != nullptr) {
+      wan::apply_trace(*s.wan_trace, network, s.wan_config);
+    } else if (!s.trace_dir.empty()) {
+      const wan::DelayTrace loaded = wan::DelayTrace::load(s.trace_dir);
+      wan::apply_trace(loaded, network, s.wan_config);
+    }
     if (!s.faults.empty()) network.install_faults(s.faults);
     if (s.observability) {
       metrics = std::make_shared<obs::MetricsRegistry>();

@@ -27,6 +27,8 @@
 #include "obs/trace.h"
 #include "recovery/durable.h"
 #include "statemachine/workload.h"
+#include "wan/delay_trace.h"
+#include "wan/empirical.h"
 
 namespace domino::harness {
 
@@ -48,6 +50,19 @@ struct Scenario {
   std::uint64_t seed = 1;
   net::JitterParams jitter;
   Duration clock_offset_stddev = milliseconds(1);
+
+  // WAN delay-trace replay (src/wan). When a trace is present, every
+  // directed link it names replays that link's empirical delay
+  // distribution (wan::EmpiricalLatency) instead of the synthetic jitter
+  // model; links absent from the trace keep the default JitterLatency.
+  /// Path of a trace CSV, or a directory of *.csv files loaded in sorted
+  /// order; empty = no file-based trace.
+  std::string trace_dir;
+  /// Already-loaded/generated trace; takes precedence over trace_dir so
+  /// benches and tests can replay generator output without touching disk.
+  std::shared_ptr<const wan::DelayTrace> wan_trace;
+  /// Replay window / past-end policy for the empirical models.
+  wan::EmpiricalConfig wan_config;
 
   // Domino knobs.
   Duration additional_delay = Duration::zero();  // added to DFP timestamps

@@ -47,6 +47,27 @@ std::vector<ProbeSample> generate_trace(const LinkTraceConfig& c) {
   return out;
 }
 
+std::vector<ProbeSample> probe_samples_from_wan(
+    const std::vector<wan::TraceSample>& forward,
+    const std::vector<wan::TraceSample>& reverse, Duration remote_clock_offset) {
+  if (forward.empty() || reverse.empty()) {
+    throw wan::TraceError("probe_samples_from_wan: empty direction series");
+  }
+  std::vector<ProbeSample> out;
+  out.reserve(forward.size());
+  std::size_t r = 0;
+  for (const wan::TraceSample& f : forward) {
+    while (r + 1 < reverse.size() && reverse[r + 1].at <= f.at) ++r;
+    ProbeSample s;
+    s.sent_at = f.at;
+    s.rtt = f.owd + reverse[r].owd;
+    s.owd_measured = f.owd + remote_clock_offset;
+    s.owd_true_offset = s.owd_measured;
+    out.push_back(s);
+  }
+  return out;
+}
+
 PredictionOutcome evaluate_predictions(const std::vector<ProbeSample>& trace,
                                        OwdEstimator estimator, Duration window,
                                        double percentile) {

@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/time.h"
+#include "wan/delay_trace.h"
 
 namespace domino::harness {
 
@@ -46,6 +47,18 @@ struct ProbeSample {
 
 /// Generate a probe trace over one directed link pair.
 [[nodiscard]] std::vector<ProbeSample> generate_trace(const LinkTraceConfig& config);
+
+/// Pair a WAN delay trace's forward and reverse OWD series into probe
+/// samples, as an ideal prober with synchronized clocks would observe them:
+/// one probe per forward sample, RTT = forward + time-matched reverse delay.
+/// The series may have different lengths/intervals; each forward sample is
+/// matched with the latest reverse sample at or before its timestamp (the
+/// first one, before any reverse data). Throws TraceError if either series
+/// is empty. `remote_clock_offset` skews the replica's receipt timestamps.
+[[nodiscard]] std::vector<ProbeSample> probe_samples_from_wan(
+    const std::vector<wan::TraceSample>& forward,
+    const std::vector<wan::TraceSample>& reverse,
+    Duration remote_clock_offset = Duration::zero());
 
 enum class OwdEstimator {
   kHalfRtt,           // predicted arrival offset = RTT/2 (no skew correction)

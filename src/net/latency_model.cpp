@@ -27,16 +27,26 @@ ScheduledLatency::ScheduledLatency(std::vector<Step> steps, JitterParams params)
 }
 
 Duration ScheduledLatency::base(TimePoint now) const {
-  Duration current = steps_.front().base;
-  for (const Step& s : steps_) {
-    if (s.from <= now) current = s.base;
-    else break;
-  }
-  return current;
+  // Binary search for the last step with from <= now; before the first
+  // step the schedule has not started yet, so the first base applies.
+  const auto it = std::upper_bound(
+      steps_.begin(), steps_.end(), now,
+      [](TimePoint t, const Step& s) { return t < s.from; });
+  if (it == steps_.begin()) return steps_.front().base;
+  return std::prev(it)->base;
 }
 
 Duration ScheduledLatency::sample(TimePoint now, Rng& rng) {
   return base(now) + jitter_sample(p_, rng);
+}
+
+std::vector<ScheduledLatency::Step> rtt_schedule_steps(const std::vector<RttStep>& steps) {
+  std::vector<ScheduledLatency::Step> out;
+  out.reserve(steps.size());
+  for (const RttStep& s : steps) {
+    out.push_back({TimePoint::epoch() + s.at, s.rtt / 2});
+  }
+  return out;
 }
 
 }  // namespace domino::net

@@ -76,7 +76,8 @@ class ScheduledLatency final : public LatencyModel {
   };
 
   /// `steps` must be sorted by `from`; the first step should start at or
-  /// before the simulation start.
+  /// before the simulation start. Queries before the first step return the
+  /// first step's base; at or after a step's `from`, that step governs.
   ScheduledLatency(std::vector<Step> steps, JitterParams params);
 
   Duration sample(TimePoint now, Rng& rng) override;
@@ -86,5 +87,17 @@ class ScheduledLatency final : public LatencyModel {
   std::vector<Step> steps_;
   JitterParams p_;
 };
+
+/// One point of a round-trip route-change schedule, as the paper's Figure
+/// 12 microbenchmarks specify them ("the RTT rises 30 -> 50 -> 70 ms").
+struct RttStep {
+  Duration at;   // simulation time the new RTT takes effect
+  Duration rtt;  // round-trip delay from then on
+};
+
+/// Expand an RTT schedule into per-direction OWD steps (base = rtt/2),
+/// the shared idiom for building symmetric ScheduledLatency links.
+[[nodiscard]] std::vector<ScheduledLatency::Step> rtt_schedule_steps(
+    const std::vector<RttStep>& steps);
 
 }  // namespace domino::net

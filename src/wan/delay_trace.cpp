@@ -1,0 +1,194 @@
+#include "wan/delay_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace domino::wan {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw TraceError("delay trace, line " + std::to_string(line) + ": " + what);
+}
+
+/// Millisecond value -> nanoseconds, with the finite/range checks every
+/// numeric trace field needs.
+std::int64_t parse_ms_field(std::string_view field, std::size_t line, const char* name) {
+  if (field.empty()) fail(line, std::string(name) + " is empty");
+  char* end = nullptr;
+  const std::string buf(field);
+  const double ms = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) fail(line, std::string(name) + " is not a number");
+  if (!std::isfinite(ms)) fail(line, std::string(name) + " is not finite");
+  // llround keeps the CSV<->ns round trip exact at the printed resolution.
+  const double ns = ms * 1e6;
+  if (ns < -9.2e18 || ns > 9.2e18) fail(line, std::string(name) + " out of range");
+  return std::llround(ns);
+}
+
+void append_ms(std::string& out, std::int64_t ns) {
+  char buf[48];
+  const std::int64_t ms = ns / 1'000'000;
+  std::int64_t frac = ns % 1'000'000;
+  if (frac < 0) frac = -frac;
+  std::snprintf(buf, sizeof(buf), "%lld.%06lld", static_cast<long long>(ms),
+                static_cast<long long>(frac));
+  out += buf;
+}
+
+}  // namespace
+
+DelayTrace::Link& DelayTrace::link_slot(std::string_view from, std::string_view to) {
+  for (Link& l : links_) {
+    if (l.key.from == from && l.key.to == to) return l;
+  }
+  if (from.empty() || to.empty()) throw TraceError("delay trace: empty endpoint name");
+  if (from.size() > limits_.max_name_length || to.size() > limits_.max_name_length) {
+    throw TraceError("delay trace: endpoint name longer than " +
+                     std::to_string(limits_.max_name_length) + " bytes");
+  }
+  if (links_.size() >= limits_.max_links) {
+    throw TraceError("delay trace: more than " + std::to_string(limits_.max_links) +
+                     " directed links");
+  }
+  links_.push_back(Link{LinkKey{std::string(from), std::string(to)},
+                        std::make_shared<std::vector<TraceSample>>()});
+  return links_.back();
+}
+
+void DelayTrace::add(std::string_view from, std::string_view to, TimePoint at,
+                     Duration owd) {
+  if (total_samples_ >= limits_.max_rows) {
+    throw TraceError("delay trace: more than " + std::to_string(limits_.max_rows) +
+                     " samples");
+  }
+  if (owd < Duration::zero()) throw TraceError("delay trace: negative delay");
+  if (owd > limits_.max_owd) {
+    throw TraceError("delay trace: delay above the " +
+                     std::to_string(limits_.max_owd.nanos() / 1'000'000) + " ms ceiling");
+  }
+  if (at < TimePoint::epoch() || at > TimePoint::epoch() + limits_.max_time) {
+    throw TraceError("delay trace: timestamp outside [0, max_time]");
+  }
+  Link& l = link_slot(from, to);
+  if (!l.samples->empty() && at < l.samples->back().at) {
+    throw TraceError("delay trace: non-monotone timestamps on link " + l.key.from +
+                     "->" + l.key.to);
+  }
+  l.samples->push_back(TraceSample{at, owd});
+  ++total_samples_;
+  if (at > end_time_) end_time_ = at;
+}
+
+void DelayTrace::add_link(std::string_view from, std::string_view to,
+                          std::vector<TraceSample> samples) {
+  for (const TraceSample& s : samples) add(from, to, s.at, s.owd);
+}
+
+std::shared_ptr<const std::vector<TraceSample>> DelayTrace::samples(
+    std::string_view from, std::string_view to) const {
+  for (const Link& l : links_) {
+    if (l.key.from == from && l.key.to == to) return l.samples;
+  }
+  return nullptr;
+}
+
+DelayTrace DelayTrace::parse_csv(std::string_view text, const TraceLimits& limits) {
+  DelayTrace trace(limits);
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') continue;
+    if (!saw_header) {
+      if (line != "time_ms,from,to,owd_ms") {
+        fail(line_no, "expected header \"time_ms,from,to,owd_ms\"");
+      }
+      saw_header = true;
+      continue;
+    }
+    // Split into exactly four fields; a truncated or overlong row is a
+    // parse error, not a silently-misread sample.
+    std::string_view fields[4];
+    std::size_t start = 0;
+    std::size_t field = 0;
+    for (std::size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == ',') {
+        if (field >= 4) fail(line_no, "too many fields (want 4)");
+        fields[field++] = line.substr(start, i - start);
+        start = i + 1;
+      }
+    }
+    if (field != 4) fail(line_no, "truncated row (want 4 fields, got " +
+                                      std::to_string(field) + ")");
+    const std::int64_t at_ns = parse_ms_field(fields[0], line_no, "time_ms");
+    const std::int64_t owd_ns = parse_ms_field(fields[3], line_no, "owd_ms");
+    try {
+      trace.add(fields[1], fields[2], TimePoint{at_ns}, Duration{owd_ns});
+    } catch (const TraceError& e) {
+      fail(line_no, e.what());
+    }
+  }
+  if (!saw_header) throw TraceError("delay trace: empty input (no header)");
+  if (trace.total_samples() == 0) throw TraceError("delay trace: no samples");
+  return trace;
+}
+
+DelayTrace DelayTrace::load(const std::string& path, const TraceLimits& limits) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    for (const auto& entry : fs::directory_iterator(path)) {
+      if (entry.path().extension() == ".csv") files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) throw TraceError("delay trace: no *.csv files in " + path);
+  } else {
+    files.push_back(path);
+  }
+  DelayTrace trace(limits);
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) throw TraceError("delay trace: cannot open " + file);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const DelayTrace part = parse_csv(buf.str(), limits);
+    for (std::size_t i = 0; i < part.link_count(); ++i) {
+      const LinkKey& key = part.link(i);
+      for (const TraceSample& s : *part.samples_at(i)) {
+        trace.add(key.from, key.to, s.at, s.owd);
+      }
+    }
+  }
+  return trace;
+}
+
+std::string DelayTrace::to_csv() const {
+  std::string out = "time_ms,from,to,owd_ms\n";
+  for (const Link& l : links_) {
+    for (const TraceSample& s : *l.samples) {
+      append_ms(out, s.at.nanos());
+      out += ',';
+      out += l.key.from;
+      out += ',';
+      out += l.key.to;
+      out += ',';
+      append_ms(out, s.owd.nanos());
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace domino::wan

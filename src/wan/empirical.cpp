@@ -1,0 +1,95 @@
+#include "wan/empirical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "net/network.h"
+
+namespace domino::wan {
+
+EmpiricalLatency::EmpiricalLatency(
+    std::shared_ptr<const std::vector<TraceSample>> samples, EmpiricalConfig config)
+    : samples_(std::move(samples)), cfg_(config) {
+  if (samples_ == nullptr || samples_->empty()) {
+    throw std::invalid_argument("EmpiricalLatency: empty trace link");
+  }
+  if (cfg_.window <= Duration::zero()) {
+    throw std::invalid_argument("EmpiricalLatency: non-positive window");
+  }
+  first_ = samples_->front().at;
+  last_ = samples_->back().at;
+}
+
+TimePoint EmpiricalLatency::trace_time(TimePoint now) const {
+  if (now <= last_) return now < first_ ? first_ : now;
+  const std::int64_t span = (last_ - first_).nanos();
+  if (cfg_.end_policy == TraceEndPolicy::kClamp || span == 0) return last_;
+  return first_ + Duration{(now - first_).nanos() % span};
+}
+
+void EmpiricalLatency::refresh(TimePoint trace_now) const {
+  const std::vector<TraceSample>& s = *samples_;
+  // hi: one past the last sample with at <= trace_now.
+  std::size_t hi = static_cast<std::size_t>(
+      std::upper_bound(s.begin(), s.end(), trace_now,
+                       [](TimePoint t, const TraceSample& a) { return t < a.at; }) -
+      s.begin());
+  // lo: first sample inside the window (t - window, t].
+  std::size_t lo = static_cast<std::size_t>(
+      std::lower_bound(s.begin(), s.end(), trace_now - cfg_.window,
+                       [](const TraceSample& a, TimePoint t) { return a.at <= t; }) -
+      s.begin());
+  if (lo >= hi) {
+    // Empty window (before the first sample, or a probing gap wider than
+    // the window): fall back to the single nearest sample.
+    if (hi == 0) hi = 1;
+    lo = hi - 1;
+  }
+  if (cache_valid_ && lo == win_lo_ && hi == win_hi_) return;
+  win_lo_ = lo;
+  win_hi_ = hi;
+  sorted_.clear();
+  sorted_.reserve(hi - lo);
+  for (std::size_t i = lo; i < hi; ++i) sorted_.push_back(s[i].owd);
+  std::sort(sorted_.begin(), sorted_.end());
+  cache_valid_ = true;
+}
+
+Duration EmpiricalLatency::sample(TimePoint now, Rng& rng) {
+  refresh(trace_time(now));
+  // Inverse transform with linear interpolation between order statistics:
+  // deterministic given the draw, continuous in u, exact at the extremes.
+  const double u = rng.next_double();
+  const std::size_t n = sorted_.size();
+  if (n == 1) return sorted_.front();
+  const double pos = u * static_cast<double>(n - 1);
+  const std::size_t i = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(i);
+  const std::int64_t a = sorted_[i].nanos();
+  const std::int64_t b = sorted_[i + 1].nanos();
+  return Duration{a + static_cast<std::int64_t>(
+                          std::llround(static_cast<double>(b - a) * frac))};
+}
+
+Duration EmpiricalLatency::base(TimePoint now) const {
+  refresh(trace_time(now));
+  return sorted_.front();
+}
+
+std::size_t apply_trace(const DelayTrace& trace, net::Network& network,
+                        const EmpiricalConfig& config) {
+  const net::Topology& topo = network.topology();
+  std::size_t replaced = 0;
+  for (std::size_t i = 0; i < trace.link_count(); ++i) {
+    const DelayTrace::LinkKey& key = trace.link(i);
+    const std::size_t from = topo.index_of(key.from);
+    const std::size_t to = topo.index_of(key.to);
+    network.set_link_model(from, to,
+                           std::make_unique<EmpiricalLatency>(trace.samples_at(i), config));
+    ++replaced;
+  }
+  return replaced;
+}
+
+}  // namespace domino::wan

@@ -1,0 +1,82 @@
+// Trace-replay latency model: a net::LatencyModel that re-samples a
+// measured (or generated) delay trace as a time-varying empirical
+// distribution.
+//
+// At simulation time t the model looks at the trace samples inside the
+// sliding window (t - window, t], sorts them, and draws delays by inverse
+// transform sampling with linear interpolation between order statistics —
+// one uniform draw from the link's existing RNG stream per message, so a
+// same-seed run replays byte-identically. base(t) is the windowed minimum,
+// which keeps the Section 4 geometry analysis and every base()-dependent
+// fault deformation meaningful on replayed links.
+//
+// Replay past the trace end follows TraceEndPolicy: kWrap loops trace time
+// (a 60 s trace drives an arbitrarily long run, repeating its regimes),
+// kClamp freezes the final window. Before the first sample the first
+// sample's delay is used.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/latency_model.h"
+#include "wan/delay_trace.h"
+
+namespace domino::net {
+class Network;
+}  // namespace domino::net
+
+namespace domino::wan {
+
+enum class TraceEndPolicy {
+  kWrap,   // loop trace time modulo the trace span
+  kClamp,  // keep replaying the final window forever
+};
+
+struct EmpiricalConfig {
+  /// Sliding-window width the empirical distribution is drawn from; the
+  /// paper's measurement-window scale (Section 3 uses 0.1 s - 1 s).
+  Duration window = seconds(1);
+  TraceEndPolicy end_policy = TraceEndPolicy::kWrap;
+};
+
+class EmpiricalLatency final : public net::LatencyModel {
+ public:
+  /// `samples` must be non-empty and time-ordered (DelayTrace guarantees
+  /// both for its links) and must outlive the model unmutated.
+  EmpiricalLatency(std::shared_ptr<const std::vector<TraceSample>> samples,
+                   EmpiricalConfig config);
+
+  Duration sample(TimePoint now, Rng& rng) override;
+  [[nodiscard]] Duration base(TimePoint now) const override;
+
+  /// Trace-relative time the model replays at `now` (wrap/clamp applied);
+  /// exposed for tests.
+  [[nodiscard]] TimePoint trace_time(TimePoint now) const;
+
+ private:
+  /// Rebuild the cached sorted window when [lo, hi) moved. The window
+  /// advances slowly relative to message sends, so the sort amortizes to
+  /// near-zero per sample.
+  void refresh(TimePoint trace_now) const;
+
+  std::shared_ptr<const std::vector<TraceSample>> samples_;
+  EmpiricalConfig cfg_;
+  TimePoint first_;  // samples_->front().at
+  TimePoint last_;   // samples_->back().at
+
+  mutable std::size_t win_lo_ = 0;
+  mutable std::size_t win_hi_ = 0;  // half-open [lo, hi)
+  mutable std::vector<Duration> sorted_;
+  mutable bool cache_valid_ = false;
+};
+
+/// Replace every directed link named in `trace` with an EmpiricalLatency
+/// replaying that link's samples; endpoints are resolved against the
+/// network's topology names (unknown names throw std::out_of_range).
+/// Links absent from the trace keep their current model. Returns the number
+/// of links replaced.
+std::size_t apply_trace(const DelayTrace& trace, net::Network& network,
+                        const EmpiricalConfig& config);
+
+}  // namespace domino::wan

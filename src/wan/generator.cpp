@@ -1,0 +1,131 @@
+#include "wan/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace domino::wan {
+namespace {
+
+/// Precomputed [start, end) congestion epochs over the trace duration.
+std::vector<std::pair<TimePoint, TimePoint>> congestion_epochs(const GeneratorConfig& c,
+                                                               Rng& rng) {
+  std::vector<std::pair<TimePoint, TimePoint>> epochs;
+  if (c.congestion_gap <= Duration::zero()) return epochs;
+  const TimePoint end = TimePoint::epoch() + c.duration;
+  TimePoint t = TimePoint::epoch();
+  while (true) {
+    t += Duration{static_cast<std::int64_t>(
+        rng.exponential(static_cast<double>(c.congestion_gap.nanos())))};
+    if (t >= end) break;
+    const Duration len{static_cast<std::int64_t>(
+        rng.exponential(static_cast<double>(c.congestion_len.nanos())))};
+    epochs.emplace_back(t, t + len);
+    t += len;
+  }
+  return epochs;
+}
+
+}  // namespace
+
+TraceGenerator::TraceGenerator(GeneratorConfig config) : cfg_(std::move(config)) {
+  if (cfg_.sample_interval <= Duration::zero()) {
+    throw std::invalid_argument("TraceGenerator: non-positive sample interval");
+  }
+  if (cfg_.duration <= Duration::zero()) {
+    throw std::invalid_argument("TraceGenerator: non-positive duration");
+  }
+  if (!std::is_sorted(cfg_.route_steps.begin(), cfg_.route_steps.end(),
+                      [](const auto& a, const auto& b) { return a.first < b.first; })) {
+    throw std::invalid_argument("TraceGenerator: route steps not sorted by time");
+  }
+}
+
+std::vector<TraceSample> TraceGenerator::generate() const {
+  Rng seed_rng(cfg_.seed);
+  Rng epoch_rng = seed_rng.fork();   // epoch layout is independent of the
+  Rng sample_rng = seed_rng.fork();  // per-sample draws (stable composition)
+  const auto epochs = congestion_epochs(cfg_, epoch_rng);
+
+  std::vector<TraceSample> out;
+  out.reserve(static_cast<std::size_t>(cfg_.duration.nanos() /
+                                       cfg_.sample_interval.nanos()) +
+              1);
+  std::size_t epoch_idx = 0;
+  std::size_t step_idx = 0;
+  Duration route_base = cfg_.base;
+  const TimePoint end = TimePoint::epoch() + cfg_.duration;
+  for (TimePoint t = TimePoint::epoch(); t < end; t += cfg_.sample_interval) {
+    // Route-change steps: the latest step at or before t wins.
+    while (step_idx < cfg_.route_steps.size() &&
+           TimePoint::epoch() + cfg_.route_steps[step_idx].first <= t) {
+      route_base = cfg_.route_steps[step_idx].second;
+      ++step_idx;
+    }
+    Duration owd = route_base;
+    if (cfg_.diurnal_amplitude > Duration::zero()) {
+      const double phase = 2.0 * M_PI * t.seconds() /
+                           std::max(1.0, cfg_.diurnal_period.seconds());
+      owd += scale(cfg_.diurnal_amplitude, std::sin(phase));
+    }
+    while (epoch_idx < epochs.size() && epochs[epoch_idx].second <= t) ++epoch_idx;
+    const bool congested =
+        epoch_idx < epochs.size() && epochs[epoch_idx].first <= t && t < epochs[epoch_idx].second;
+    double sigma = cfg_.jitter_sigma;
+    if (congested) {
+      owd += cfg_.congestion_extra;
+      sigma *= cfg_.congestion_sigma_factor;
+    }
+    owd += milliseconds_d(sample_rng.lognormal(cfg_.jitter_mu_ms, sigma));
+    if (cfg_.spike_prob > 0 && sample_rng.chance(cfg_.spike_prob)) {
+      Duration spike{static_cast<std::int64_t>(
+          sample_rng.exponential(static_cast<double>(cfg_.spike_mean.nanos())))};
+      if (cfg_.heavy_tail_prob > 0 && sample_rng.chance(cfg_.heavy_tail_prob)) {
+        spike = scale(spike, cfg_.heavy_tail_factor);
+      }
+      owd += spike;
+    }
+    if (owd < Duration::zero()) owd = Duration::zero();
+    out.push_back(TraceSample{t, owd});
+  }
+  return out;
+}
+
+void TraceGenerator::generate_into(DelayTrace& trace, std::string_view from,
+                                   std::string_view to) const {
+  trace.add_link(from, to, generate());
+}
+
+GeneratorConfig stationary_config(Duration base_owd, std::uint64_t seed) {
+  GeneratorConfig c;
+  c.base = base_owd;
+  c.seed = seed;
+  // A touch of slow wander keeps the trace from being suspiciously flat
+  // without moving percentiles faster than the estimator window tracks.
+  c.diurnal_amplitude = milliseconds_d(0.3);
+  c.diurnal_period = seconds(240);
+  return c;
+}
+
+GeneratorConfig drifting_config(Duration base_owd, std::uint64_t seed) {
+  GeneratorConfig c;
+  c.base = base_owd;
+  c.seed = seed;
+  c.diurnal_amplitude = milliseconds(3);
+  c.diurnal_period = seconds(40);
+  c.congestion_gap = seconds(6);
+  c.congestion_len = seconds(2);
+  c.congestion_extra = milliseconds(6);
+  c.congestion_sigma_factor = 2.5;
+  c.spike_prob = 0.002;
+  c.heavy_tail_prob = 0.1;
+  // Two route changes per minute of trace: up by ~25%, back down.
+  const std::int64_t secs = std::max<std::int64_t>(1, c.duration.nanos() / 1'000'000'000);
+  for (std::int64_t s = 10; s + 10 <= secs; s += 20) {
+    c.route_steps.emplace_back(seconds(s), scale(base_owd, 1.25));
+    c.route_steps.emplace_back(seconds(s + 10), base_owd);
+  }
+  return c;
+}
+
+}  // namespace domino::wan

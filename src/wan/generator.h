@@ -1,0 +1,99 @@
+// Deterministic non-stationary delay-trace generation.
+//
+// The paper's core stability claim (Sections 3, 7: short-window percentile
+// estimates predict arrival times because WAN delay distributions move
+// slowly) holds on its measured traces — this generator produces traces
+// where the claim holds *and* traces where it deliberately breaks, so the
+// prober/estimator/calibration stack can be scored against ground truth it
+// was never tuned on. Regimes compose:
+//
+//   - stable floor + log-normal jitter (the Section 3 baseline),
+//   - diurnal drift: slow sinusoidal wander of the base delay,
+//   - congestion epochs: seeded busy periods (exponential gaps/lengths)
+//     adding queueing delay and widening jitter,
+//   - route-change steps: instantaneous base-delay jumps (Figure 12's
+//     traffic-control idiom),
+//   - heavy-tail spikes: rare exponential spikes with an optional extra
+//     tail multiplier.
+//
+// Everything is derived from the seed via forked RNG streams; one config
+// always generates byte-identical samples.
+#pragma once
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "wan/delay_trace.h"
+
+namespace domino::wan {
+
+struct GeneratorConfig {
+  Duration base = milliseconds(33);            // propagation floor (OWD)
+  Duration sample_interval = milliseconds(10);
+  Duration duration = seconds(60);
+  std::uint64_t seed = 1;
+
+  // Short-timescale jitter (log-normal, the paper's observed shape).
+  double jitter_mu_ms = -2.0;
+  double jitter_sigma = 0.8;
+
+  // Diurnal drift: base += amplitude * sin(2*pi * t / period).
+  Duration diurnal_amplitude = Duration::zero();
+  Duration diurnal_period = seconds(600);
+
+  // Congestion epochs: busy periods arrive with exponential inter-epoch
+  // gaps of mean `congestion_gap` and last exponential `congestion_len`;
+  // during an epoch every sample gains `congestion_extra` queueing delay
+  // and jitter sigma is multiplied by `congestion_sigma_factor`.
+  // congestion_gap == zero disables.
+  Duration congestion_gap = Duration::zero();
+  Duration congestion_len = seconds(2);
+  Duration congestion_extra = milliseconds(5);
+  double congestion_sigma_factor = 2.0;
+
+  // Route changes: (at, new base OWD) steps, applied in order; empty keeps
+  // `base` throughout. Must be sorted by time.
+  std::vector<std::pair<Duration, Duration>> route_steps;
+
+  // Heavy-tail spikes: with probability spike_prob a sample gains an
+  // exponential spike of mean spike_mean; with probability heavy_tail_prob
+  // (conditional on spiking) the spike is further multiplied by
+  // heavy_tail_factor — the occasional hundreds-of-ms excursion real
+  // traces show.
+  double spike_prob = 0.0005;
+  Duration spike_mean = milliseconds(8);
+  double heavy_tail_prob = 0.0;
+  double heavy_tail_factor = 10.0;
+};
+
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(GeneratorConfig config);
+
+  /// Generate this link's samples; same config -> byte-identical output.
+  [[nodiscard]] std::vector<TraceSample> generate() const;
+
+  /// Generate and append under (from -> to); throws TraceError if the
+  /// trace's limits are breached.
+  void generate_into(DelayTrace& trace, std::string_view from, std::string_view to) const;
+
+  [[nodiscard]] const GeneratorConfig& config() const { return cfg_; }
+
+ private:
+  GeneratorConfig cfg_;
+};
+
+/// Convenience presets used by the benches, fixtures and tests.
+
+/// A Section 3-style stationary link: stable floor, small jitter, rare
+/// spikes — the regime where the paper's prediction claim holds.
+[[nodiscard]] GeneratorConfig stationary_config(Duration base_owd, std::uint64_t seed);
+
+/// A deliberately non-stationary link: diurnal drift, congestion epochs,
+/// route-change steps and heavy-tail spikes — the regime where it breaks.
+[[nodiscard]] GeneratorConfig drifting_config(Duration base_owd, std::uint64_t seed);
+
+}  // namespace domino::wan

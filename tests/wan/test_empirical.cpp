@@ -1,0 +1,167 @@
+#include "wan/empirical.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "wan/generator.h"
+
+namespace domino::wan {
+namespace {
+
+std::shared_ptr<const std::vector<TraceSample>> make_samples(
+    std::vector<TraceSample> v) {
+  return std::make_shared<const std::vector<TraceSample>>(std::move(v));
+}
+
+// 0 ms: 10, 1 s: 20, 2 s: 30, 3 s: 40 (ms OWD, one sample per second).
+std::shared_ptr<const std::vector<TraceSample>> ramp() {
+  return make_samples({{TimePoint::epoch(), milliseconds(10)},
+                       {TimePoint::epoch() + seconds(1), milliseconds(20)},
+                       {TimePoint::epoch() + seconds(2), milliseconds(30)},
+                       {TimePoint::epoch() + seconds(3), milliseconds(40)}});
+}
+
+TEST(EmpiricalLatency, SamplesStayInsideWindowBounds) {
+  EmpiricalConfig cfg;
+  cfg.window = seconds(1);
+  EmpiricalLatency m(ramp(), cfg);
+  Rng rng(1);
+  // At t=2.5 s the window (1.5, 2.5] holds exactly the 30 ms sample.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(m.sample(TimePoint::epoch() + milliseconds(2500), rng), milliseconds(30));
+  }
+  // The window is half-open (t - window, t]: at t=3 s a 1 s window holds
+  // only the 40 ms sample (the 2 s sample sits exactly on the excluded
+  // boundary).
+  EXPECT_EQ(m.base(TimePoint::epoch() + seconds(3)), milliseconds(40));
+  // A 2 s window at t=3 s covers (1, 3] = {30, 40}: every draw
+  // interpolates between them, and base() is the windowed minimum.
+  EmpiricalConfig wide;
+  wide.window = seconds(2);
+  EmpiricalLatency w(ramp(), wide);
+  for (int i = 0; i < 200; ++i) {
+    const Duration d = w.sample(TimePoint::epoch() + seconds(3), rng);
+    EXPECT_GE(d, milliseconds(30));
+    EXPECT_LE(d, milliseconds(40));
+  }
+  EXPECT_EQ(w.base(TimePoint::epoch() + seconds(3)), milliseconds(30));
+}
+
+TEST(EmpiricalLatency, BeforeFirstSampleUsesFirstSample) {
+  EmpiricalConfig cfg;
+  EmpiricalLatency m(make_samples({{TimePoint::epoch() + seconds(5), milliseconds(25)},
+                                   {TimePoint::epoch() + seconds(6), milliseconds(35)}}),
+                     cfg);
+  Rng rng(2);
+  EXPECT_EQ(m.sample(TimePoint::epoch(), rng), milliseconds(25));
+  EXPECT_EQ(m.base(TimePoint::epoch()), milliseconds(25));
+}
+
+TEST(EmpiricalLatency, WrapLoopsTraceTime) {
+  EmpiricalConfig cfg;
+  cfg.window = seconds(1);
+  cfg.end_policy = TraceEndPolicy::kWrap;
+  EmpiricalLatency m(ramp(), cfg);
+  // Trace span is 3 s: t = 3.5 s wraps to trace time 0.5 s.
+  EXPECT_EQ(m.trace_time(TimePoint::epoch() + milliseconds(3500)),
+            TimePoint::epoch() + milliseconds(500));
+  EXPECT_EQ(m.trace_time(TimePoint::epoch() + milliseconds(6500)),
+            TimePoint::epoch() + milliseconds(500));
+  Rng rng(3);
+  // Window (−0.5, 0.5] (clamped) holds only the 10 ms sample.
+  EXPECT_EQ(m.sample(TimePoint::epoch() + milliseconds(3500), rng), milliseconds(10));
+  EXPECT_EQ(m.base(TimePoint::epoch() + milliseconds(3500)), milliseconds(10));
+}
+
+TEST(EmpiricalLatency, ClampFreezesFinalWindow) {
+  EmpiricalConfig cfg;
+  cfg.window = seconds(2);  // final window (1, 3] = {30, 40}
+  cfg.end_policy = TraceEndPolicy::kClamp;
+  EmpiricalLatency m(ramp(), cfg);
+  EXPECT_EQ(m.trace_time(TimePoint::epoch() + seconds(100)),
+            TimePoint::epoch() + seconds(3));
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const Duration d = m.sample(TimePoint::epoch() + seconds(100), rng);
+    EXPECT_GE(d, milliseconds(30));
+    EXPECT_LE(d, milliseconds(40));
+  }
+  EXPECT_EQ(m.base(TimePoint::epoch() + seconds(100)), milliseconds(30));
+}
+
+TEST(EmpiricalLatency, SameSeedReplayIsByteIdentical) {
+  const GeneratorConfig gc = drifting_config(milliseconds(30), 42);
+  const auto samples = make_samples(TraceGenerator(gc).generate());
+  EmpiricalConfig cfg;
+  EmpiricalLatency a(samples, cfg);
+  EmpiricalLatency b(samples, cfg);
+  Rng ra(9);
+  Rng rb(9);
+  // Identical query sequence, identical seeds -> identical draws, even when
+  // the queries jump backward in time (cache rebuilds must be functional).
+  std::vector<TimePoint> at;
+  Rng jump(5);
+  for (int i = 0; i < 2'000; ++i) {
+    at.push_back(TimePoint::epoch() +
+                 nanoseconds(static_cast<std::int64_t>(jump.next_double() * 6e10)));
+  }
+  for (const TimePoint t : at) {
+    EXPECT_EQ(a.sample(t, ra), b.sample(t, rb));
+  }
+}
+
+TEST(EmpiricalLatency, TracksDistributionShift) {
+  // First second around 10 ms, second second around 50 ms: sampling must
+  // follow the regime the window covers.
+  std::vector<TraceSample> v;
+  for (int i = 0; i < 100; ++i) {
+    v.push_back({TimePoint::epoch() + milliseconds(10) * i, milliseconds(10)});
+  }
+  for (int i = 0; i < 100; ++i) {
+    v.push_back({TimePoint::epoch() + seconds(1) + milliseconds(10) * i, milliseconds(50)});
+  }
+  EmpiricalConfig cfg;
+  cfg.window = milliseconds(500);
+  EmpiricalLatency m(make_samples(std::move(v)), cfg);
+  Rng rng(6);
+  EXPECT_EQ(m.sample(TimePoint::epoch() + milliseconds(900), rng), milliseconds(10));
+  EXPECT_EQ(m.sample(TimePoint::epoch() + milliseconds(1900), rng), milliseconds(50));
+  EXPECT_EQ(m.base(TimePoint::epoch() + milliseconds(900)), milliseconds(10));
+  EXPECT_EQ(m.base(TimePoint::epoch() + milliseconds(1900)), milliseconds(50));
+}
+
+TEST(ApplyTrace, ReplacesNamedLinksOnly) {
+  sim::Simulator simulator;
+  net::Network network(simulator, net::Topology::globe(), 1);
+  DelayTrace trace;
+  trace.add("VA", "WA", TimePoint::epoch(), milliseconds(99));
+  trace.add("WA", "VA", TimePoint::epoch(), milliseconds(101));
+  const std::size_t replaced = wan::apply_trace(trace, network, {});
+  EXPECT_EQ(replaced, 2u);
+  const net::Topology topo = net::Topology::globe();
+  const std::size_t va = topo.index_of("VA");
+  const std::size_t wa = topo.index_of("WA");
+  const std::size_t pr = topo.index_of("PR");
+  EXPECT_EQ(network.link_model(va, wa).base(TimePoint::epoch()), milliseconds(99));
+  EXPECT_EQ(network.link_model(wa, va).base(TimePoint::epoch()), milliseconds(101));
+  // Untraced links keep their existing (constant) model.
+  EXPECT_EQ(network.link_model(va, pr).base(TimePoint::epoch()),
+            topo.owd(va, pr));
+}
+
+TEST(ApplyTrace, UnknownEndpointThrows) {
+  sim::Simulator simulator;
+  net::Network network(simulator, net::Topology::globe(), 1);
+  DelayTrace trace;
+  trace.add("VA", "NOWHERE", TimePoint::epoch(), milliseconds(10));
+  EXPECT_THROW((void)wan::apply_trace(trace, network, {}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace domino::wan
